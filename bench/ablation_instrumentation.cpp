@@ -1,0 +1,47 @@
+// Ablation A: cost of the simulation-oriented instrumentation in the
+// generated code (supports the paper's §3.2 design: bitmap coverage marks
+// and flag-based diagnostic calls are cheap enough that fully-instrumented
+// AccMoS still beats the uninstrumented fast modes).
+//
+// Variants: full (coverage + diagnosis + monitor), coverage-only,
+// diagnosis-only, bare.
+#include "bench_common.h"
+#include "codegen/accmos_engine.h"
+
+int main() {
+  using namespace accmos;
+  const uint64_t steps = bench::benchSteps();
+  std::printf("Ablation A: instrumentation overhead of generated code "
+              "(%llu steps)\n",
+              static_cast<unsigned long long>(steps));
+  bench::hr(96);
+  std::printf("%-7s %14s %14s %14s %14s | %s\n", "Model", "full", "cov-only",
+              "diag-only", "bare", "full/bare overhead");
+  bench::hr(96);
+
+  for (const char* name : {"LANS", "CPUT", "TWC"}) {
+    auto model = buildBenchmarkModel(name);
+    Simulator sim(*model);
+    TestCaseSpec tests = benchStimulus(name);
+
+    double times[4];
+    struct Cfg {
+      bool cov;
+      bool diag;
+    };
+    const Cfg cfgs[4] = {{true, true}, {true, false}, {false, true},
+                         {false, false}};
+    for (int k = 0; k < 4; ++k) {
+      SimOptions opt = bench::engineOptions(Engine::AccMoS, steps);
+      opt.coverage = cfgs[k].cov;
+      opt.diagnosis = cfgs[k].diag;
+      AccMoSEngine engine(sim.flatModel(), opt, tests);
+      times[k] = engine.run().execSeconds;
+    }
+    std::printf("%-7s %13.4fs %13.4fs %13.4fs %13.4fs | %.2fx\n", name,
+                times[0], times[1], times[2], times[3],
+                times[3] > 0 ? times[0] / times[3] : 0.0);
+  }
+  bench::hr(96);
+  return 0;
+}

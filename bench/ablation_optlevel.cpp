@@ -1,0 +1,38 @@
+// Ablation B: effect of the compiler optimization level on generated-code
+// simulation speed (the paper compiles with GCC -O3 and attributes part of
+// the speedup to "compiler optimizations and processor features like
+// pipelining and superscalar architectures", §4).
+#include "bench_common.h"
+#include "codegen/accmos_engine.h"
+
+int main() {
+  using namespace accmos;
+  const uint64_t steps = bench::benchSteps();
+  std::printf("Ablation B: compiler optimization level for generated "
+              "simulation code (%llu steps)\n",
+              static_cast<unsigned long long>(steps));
+  bench::hr(96);
+  std::printf("%-7s %6s %12s %12s %14s\n", "Model", "opt", "compile(s)",
+              "exec(s)", "exec vs -O3");
+  bench::hr(96);
+
+  for (const char* name : {"LANS", "CPUT"}) {
+    auto model = buildBenchmarkModel(name);
+    Simulator sim(*model);
+    TestCaseSpec tests = benchStimulus(name);
+
+    double o3Time = 0.0;
+    for (const char* opt : {"-O3", "-O2", "-O1", "-O0"}) {
+      SimOptions so = bench::engineOptions(Engine::AccMoS, steps);
+      so.optFlag = opt;
+      AccMoSEngine engine(sim.flatModel(), so, tests);
+      auto res = engine.run();
+      if (std::string(opt) == "-O3") o3Time = res.execSeconds;
+      std::printf("%-7s %6s %11.3fs %11.4fs %13.2fx\n", name, opt,
+                  engine.compileSeconds(), res.execSeconds,
+                  o3Time > 0 ? res.execSeconds / o3Time : 1.0);
+    }
+  }
+  bench::hr(96);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Shared helpers for the reproduction benches.
+//
+// Scaling: the paper simulates 50 million steps per model; that is hours of
+// interpreter time. All engines are linear in steps, so the benches default
+// to ACCMOS_BENCH_STEPS = 100000 and report per-step-normalized ratios —
+// the quantity the paper's Table 2 speedups measure. Set the environment
+// variable higher to approach the paper's absolute scale.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_models/suite.h"
+#include "sim/simulator.h"
+
+namespace accmos::bench {
+
+inline uint64_t envSteps(const char* name, uint64_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return def;
+  return std::strtoull(v, nullptr, 10);
+}
+
+inline double envDouble(const char* name, double def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return def;
+  return std::strtod(v, nullptr);
+}
+
+inline uint64_t benchSteps() { return envSteps("ACCMOS_BENCH_STEPS", 100000); }
+
+// Coverage windows: paper uses 5s/15s/60s; default scale 1/20.
+inline double covScale() { return envDouble("ACCMOS_COV_SCALE", 0.05); }
+
+inline SimOptions engineOptions(Engine e, uint64_t steps) {
+  SimOptions opt;
+  opt.engine = e;
+  opt.maxSteps = steps;
+  if (e == Engine::SSEac || e == Engine::SSErac) {
+    // The fast modes cannot diagnose or collect coverage (paper §2).
+    opt.coverage = false;
+    opt.diagnosis = false;
+  }
+  return opt;
+}
+
+inline void hr(int width = 100) {
+  for (int k = 0; k < width; ++k) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace accmos::bench

@@ -1,0 +1,81 @@
+// Reproduces the error-diagnosis case study (paper §4): two errors injected
+// into the CSEV charging model.
+//
+//  Error 1 — wrap on overflow of the `quantity` data-store accumulator:
+//  emerges only after sustained charging. Paper: SSE 450.14s, AccMoS 0.74s
+//  (>99% reduction in detection time).
+//  Error 2 — the charging-power product outputs short int from int inputs:
+//  manifests at the very beginning, so both engines detect it near-instantly
+//  (paper: between 0.18s and 1.2s).
+#include "bench_common.h"
+#include "codegen/accmos_engine.h"
+
+namespace {
+
+// Detection time = wall-clock until the step where the diagnostic first
+// fires (derived from the measured per-step rate of the full run).
+double detectionTime(const accmos::SimulationResult& r, uint64_t firstStep) {
+  if (r.stepsExecuted == 0) return 0.0;
+  return r.execSeconds * static_cast<double>(firstStep + 1) /
+         static_cast<double>(r.stepsExecuted);
+}
+
+}  // namespace
+
+int main() {
+  using namespace accmos;
+  auto model = buildCsevWithInjectedErrors();
+  Simulator sim(*model);
+  TestCaseSpec tests = benchStimulus("CSEV");
+
+  // Run long enough for the accumulator wrap (~86k steps with the injected
+  // 1000x charge scale).
+  uint64_t steps = std::max<uint64_t>(bench::benchSteps(), 150000);
+
+  auto sse = sim.run(bench::engineOptions(Engine::SSE, steps), tests);
+  SimOptions accOpt = bench::engineOptions(Engine::AccMoS, steps);
+  AccMoSEngine engine(sim.flatModel(), accOpt, tests);
+  auto acc = engine.run();
+
+  std::printf("CSEV error-injection case study (%llu steps)\n",
+              static_cast<unsigned long long>(steps));
+  bench::hr(96);
+
+  struct ErrorSpec {
+    const char* label;
+    const char* path;
+    DiagKind kind;
+  };
+  const ErrorSpec errors[] = {
+      {"Error 1: quantity accumulator wrap", "QuantityAdd",
+       DiagKind::WrapOnOverflow},
+      {"Error 2: power product downcast", "ChargingPower", DiagKind::Downcast},
+      {"Error 2: power product wrap", "ChargingPower",
+       DiagKind::WrapOnOverflow},
+  };
+  for (const auto& e : errors) {
+    const DiagRecord* ds = sse.findDiag(e.path, e.kind);
+    const DiagRecord* da = acc.findDiag(e.path, e.kind);
+    std::printf("%-38s\n", e.label);
+    if (ds == nullptr || da == nullptr) {
+      std::printf("  NOT DETECTED (SSE: %s, AccMoS: %s)\n",
+                  ds != nullptr ? "yes" : "no", da != nullptr ? "yes" : "no");
+      continue;
+    }
+    double ts = detectionTime(sse, ds->firstStep);
+    double ta = detectionTime(acc, da->firstStep);
+    std::printf("  first step: SSE %llu, AccMoS %llu (%s)\n",
+                static_cast<unsigned long long>(ds->firstStep),
+                static_cast<unsigned long long>(da->firstStep),
+                ds->firstStep == da->firstStep ? "identical" : "MISMATCH");
+    std::printf("  detection time: SSE %.4fs, AccMoS %.4fs  ->  %.1f%% "
+                "reduction\n",
+                ts, ta, ts > 0 ? 100.0 * (1.0 - ta / ts) : 0.0);
+  }
+  bench::hr(96);
+  std::printf(
+      "Paper reference: error 1 detected in 0.74s by AccMoS vs 450.14s by "
+      "SSE\n(>99%% reduction); error 2 manifests at simulation start for "
+      "both engines.\n");
+  return 0;
+}

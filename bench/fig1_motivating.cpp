@@ -1,0 +1,59 @@
+// Reproduces the paper's Figure 1 motivating experiment (§1): the sample
+// model accumulates two inputs and combines them; the Sum actor eventually
+// wraps. SSE takes 184.74s to surface the error; hand-written C++ takes
+// 0.37s — "a speed improvement of nearly 500x". Here both engines run with
+// stop-on-diagnostic and the wall-clock until detection is compared.
+#include "bench_common.h"
+#include "bench_models/sample_overflow.h"
+#include "codegen/accmos_engine.h"
+
+int main() {
+  using namespace accmos;
+  auto model = sampleOverflowModel();
+  Simulator sim(*model);
+  TestCaseSpec tests = sampleOverflowStimulus();
+
+  std::printf("Figure 1 motivating experiment: time to detect the Sum "
+              "wrap-on-overflow\n");
+  bench::hr(90);
+
+  SimOptions opt = bench::engineOptions(Engine::SSE, ~uint64_t{0} >> 1);
+  opt.stopOnDiagnostic = true;
+  auto sse = sim.run(opt, tests);
+
+  SimOptions accOpt = bench::engineOptions(Engine::AccMoS, ~uint64_t{0} >> 1);
+  accOpt.stopOnDiagnostic = true;
+  AccMoSEngine engine(sim.flatModel(), accOpt, tests);
+  auto acc = engine.run();
+
+  auto describe = [](const char* name, const SimulationResult& r,
+                     double genCompile) {
+    std::printf("%-7s detected at step %-10llu exec %8.4fs",
+                name, static_cast<unsigned long long>(
+                          r.firstDiagStep().value_or(0)),
+                r.execSeconds);
+    if (genCompile > 0.0) {
+      std::printf("  (+%.2fs generate+compile, one-off)", genCompile);
+    }
+    std::printf("\n");
+    for (const auto& d : r.diagnostics) {
+      std::printf("        [%s] %s first@%llu x%llu\n",
+                  std::string(diagKindName(d.kind)).c_str(),
+                  d.actorPath.c_str(),
+                  static_cast<unsigned long long>(d.firstStep),
+                  static_cast<unsigned long long>(d.count));
+    }
+  };
+  describe("SSE", sse, 0.0);
+  describe("AccMoS", acc,
+           engine.generateSeconds() + engine.compileSeconds());
+  bench::hr(90);
+  if (acc.execSeconds > 0.0) {
+    std::printf("Speedup (execution): %.1fx   (paper: 184.74s vs 0.37s "
+                "~= 500x)\n",
+                sse.execSeconds / acc.execSeconds);
+  }
+  std::printf("Both engines detect the wrap at the same step: %s\n",
+              sse.firstDiagStep() == acc.firstDiagStep() ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces Table 3: coverage of AccMoS and SSE within equal wall-clock
+// simulation budgets, for the four metrics (actor, condition, decision,
+// MC/DC).
+//
+// The paper samples at 5s/15s/60s; these budgets are scaled by
+// ACCMOS_COV_SCALE (default 0.05 -> 0.25s/0.75s/3s). Identical random test
+// streams drive both engines; AccMoS simply executes orders of magnitude
+// more steps inside the same budget, which is exactly the effect Table 3
+// demonstrates.
+#include "bench_common.h"
+#include "codegen/accmos_engine.h"
+
+int main() {
+  using namespace accmos;
+  const double scale = bench::covScale();
+  const double budgets[3] = {5.0 * scale, 15.0 * scale, 60.0 * scale};
+  std::printf(
+      "Table 3: Coverage of AccMoS and SSE (budgets %.2fs/%.2fs/%.2fs; "
+      "paper used 5s/15s/60s)\n",
+      budgets[0], budgets[1], budgets[2]);
+  bench::hr(112);
+  std::printf("%-7s %7s | %9s %9s | %9s %9s | %9s %9s | %9s %9s | %12s\n",
+              "Model", "Budget", "Actor A", "Actor S", "Cond A", "Cond S",
+              "Dec A", "Dec S", "MCDC A", "MCDC S", "steps A/S");
+  bench::hr(112);
+
+  for (const auto& info : benchmarkSuite()) {
+    auto model = buildBenchmarkModel(info.name);
+    Simulator sim(*model);
+    TestCaseSpec tests = benchStimulus(info.name);
+
+    SimOptions accOpt = bench::engineOptions(Engine::AccMoS, 0);
+    accOpt.maxSteps = ~uint64_t{0} >> 1;
+    AccMoSEngine engine(sim.flatModel(), accOpt, tests);
+
+    for (double budget : budgets) {
+      auto acc = engine.run(0, budget);
+
+      SimOptions sseOpt = bench::engineOptions(Engine::SSE, 0);
+      sseOpt.maxSteps = ~uint64_t{0} >> 1;
+      sseOpt.timeBudgetSec = budget;
+      auto sse = sim.run(sseOpt, tests);
+
+      std::printf(
+          "%-7s %6.2fs | %8.0f%% %8.0f%% | %8.0f%% %8.0f%% | %8.0f%% "
+          "%8.0f%% | %8.0f%% %8.0f%% | %.1e/%.1e\n",
+          info.name.c_str(), budget,
+          acc.coverage.of(CovMetric::Actor).percent(),
+          sse.coverage.of(CovMetric::Actor).percent(),
+          acc.coverage.of(CovMetric::Condition).percent(),
+          sse.coverage.of(CovMetric::Condition).percent(),
+          acc.coverage.of(CovMetric::Decision).percent(),
+          sse.coverage.of(CovMetric::Decision).percent(),
+          acc.coverage.of(CovMetric::MCDC).percent(),
+          sse.coverage.of(CovMetric::MCDC).percent(),
+          static_cast<double>(acc.stepsExecuted),
+          static_cast<double>(sse.stepsExecuted));
+    }
+  }
+  bench::hr(112);
+  std::printf(
+      "\nExpected shape (paper): AccMoS coverage within the smallest budget\n"
+      "meets or exceeds SSE's at the largest budget for most models, because\n"
+      "the generated code executes far more steps per second and reaches the\n"
+      "rare branches (enabled subsystems, extreme thresholds) much sooner.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Continuous models (the paper's §5 extension): simulate an RC low-pass
+// filter dy/dt = (u - y)/tau with the ContinuousIntegrator actor under
+// the Euler and Adams-Bashforth solvers, comparing against the closed-form
+// step response — all through the AccMoS generated-code engine.
+//
+//   $ ./examples/continuous_models
+#include <cmath>
+#include <cstdio>
+
+#include "ir/model.h"
+#include "sim/simulator.h"
+
+using namespace accmos;
+
+namespace {
+
+std::unique_ptr<Model> rcModel(const std::string& method, double h,
+                               double tau) {
+  auto model = std::make_unique<Model>("RC");
+  System& root = model->root();
+  Actor& in = root.addActor("Vin", "Inport");
+  in.params().setInt("port", 1);
+
+  // dy/dt = (u - y) / tau.
+  Actor& err = root.addActor("Err", "Sum");
+  err.params().set("ops", "+-");
+  Actor& gain = root.addActor("InvTau", "Gain");
+  gain.params().setDouble("gain", 1.0 / tau);
+  Actor& y = root.addActor("Vout", "ContinuousIntegrator");
+  y.params().set("method", method);
+  y.params().setDouble("h", h);
+  Actor& out = root.addActor("Out1", "Outport");
+  out.params().setInt("port", 1);
+
+  root.connect("Vin", 1, "Err", 1);
+  root.connect("Vout", 1, "Err", 2);
+  root.connect("Err", 1, "InvTau", 1);
+  root.connect("InvTau", 1, "Vout", 1);
+  root.connect("Vout", 1, "Out1", 1);
+  return model;
+}
+
+}  // namespace
+
+int main() {
+  const double tau = 0.5;
+  const double T = 1.0;
+  const double exact = 1.0 - std::exp(-T / tau);  // unit-step response
+
+  std::printf("RC low-pass step response at t=%.1f (tau=%.1f): exact %.8f\n\n",
+              T, tau, exact);
+  std::printf("%-7s %10s %14s %14s\n", "method", "h", "y(T)", "abs error");
+
+  for (const char* method : {"euler", "ab2", "ab3"}) {
+    for (double h : {0.02, 0.01, 0.005}) {
+      auto model = rcModel(method, h, tau);
+      TestCaseSpec tests;
+      PortStimulus step;
+      step.sequence = {1.0};  // unit step input
+      tests.ports = {step};
+      SimOptions opt;
+      opt.engine = Engine::AccMoS;
+      // +1: the integrator is delay-class, so the output at step N shows
+      // the state after N updates (i.e. y at t = N*h).
+      opt.maxSteps = static_cast<uint64_t>(T / h) + 1;
+      auto res = simulate(*model, opt, tests);
+      double yT = res.finalOutputs[0].f(0);
+      std::printf("%-7s %10.3f %14.8f %14.2e\n", method, h, yT,
+                  std::fabs(yT - exact));
+    }
+  }
+  std::printf(
+      "\nHalving h cuts the Euler error ~2x and the Adams-Bashforth error\n"
+      "~4x — the paper's proposed solver integration, compiled and executed\n"
+      "through the same code-generation pipeline as the discrete models.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Coverage analysis workflow: simulate one of the industrial-scale
+// benchmark models under increasing budgets and watch the four Simulink
+// coverage metrics converge — the Table 3 experiment as an API user would
+// run it, including a look at which actors remain uncovered.
+//
+//   $ ./examples/coverage_analysis [model] (default FMTM)
+#include <cstdio>
+#include <string>
+
+#include "bench_models/suite.h"
+#include "codegen/accmos_engine.h"
+#include "sim/simulator.h"
+
+using namespace accmos;
+
+int main(int argc, char** argv) {
+  std::string name = argc > 1 ? argv[1] : "FMTM";
+  auto model = buildBenchmarkModel(name);
+  Simulator sim(*model);
+  TestCaseSpec tests = benchStimulus(name);
+
+  SimOptions opt;
+  opt.engine = Engine::AccMoS;
+  opt.maxSteps = ~uint64_t{0} >> 1;
+  AccMoSEngine engine(sim.flatModel(), opt, tests);
+
+  std::printf("Coverage convergence on %s (%zu flattened actors)\n",
+              name.c_str(), sim.flatModel().actors.size());
+  std::printf("%-8s %10s | %7s %9s %9s %7s\n", "budget", "steps", "actor",
+              "condition", "decision", "mcdc");
+
+  SimulationResult last;
+  for (double budget : {0.05, 0.2, 0.8, 2.0}) {
+    last = engine.run(0, budget);
+    std::printf("%6.2fs  %10llu | %6.1f%% %8.1f%% %8.1f%% %6.1f%%\n", budget,
+                static_cast<unsigned long long>(last.stepsExecuted),
+                last.coverage.of(CovMetric::Actor).percent(),
+                last.coverage.of(CovMetric::Condition).percent(),
+                last.coverage.of(CovMetric::Decision).percent(),
+                last.coverage.of(CovMetric::MCDC).percent());
+  }
+
+  // Which actors were never executed? (Typically the ones inside rarely
+  // enabled subsystems — exactly what a test engineer wants to know.)
+  const CoveragePlan* plan = engine.coveragePlan();
+  std::printf("\nActors never executed within the largest budget:\n");
+  int shown = 0;
+  for (const auto& fa : sim.flatModel().actors) {
+    const ActorCovInfo& info = plan->info(fa.id);
+    if (info.actorSlot < 0) continue;
+    if (last.bitmaps.bits(CovMetric::Actor)[static_cast<size_t>(
+            info.actorSlot)] == 0) {
+      std::printf("  %s (%s)\n", fa.path.c_str(), fa.type().c_str());
+      if (++shown >= 12) {
+        std::printf("  ...\n");
+        break;
+      }
+    }
+  }
+  if (shown == 0) std::printf("  (none — full actor coverage)\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Custom signal diagnosis (paper §3.2.B): "sometimes users want to check
+// whether the input/output of a certain actor meets their expectations" —
+// range monitors, sudden-change detectors, and fully custom conditions.
+//
+//   $ ./examples/custom_diagnosis
+#include <cstdio>
+
+#include "ir/model.h"
+#include "sim/simulator.h"
+
+using namespace accmos;
+
+int main() {
+  // A noisy sensor behind a rate limiter; we watch the filtered signal.
+  Model model("SensorChain");
+  System& root = model.root();
+
+  Actor& in = root.addActor("Sensor", "Inport");
+  in.params().setInt("port", 1);
+
+  Actor& spike = root.addActor("SpikeGain", "Gain");
+  spike.params().setDouble("gain", 20.0);
+  root.connect("Sensor", 1, "SpikeGain", 1);
+
+  Actor& limiter = root.addActor("Limiter", "RateLimiter");
+  limiter.params().setDouble("rising", 0.5);
+  limiter.params().setDouble("falling", -0.5);
+  root.connect("SpikeGain", 1, "Limiter", 1);
+
+  Actor& out = root.addActor("Filtered", "Outport");
+  out.params().setInt("port", 1);
+  root.connect("Limiter", 1, "Filtered", 1);
+
+  SimOptions opt;
+  opt.engine = Engine::AccMoS;
+  opt.maxSteps = 100000;
+
+  // 1. Range monitor on the raw (pre-limiter) signal.
+  opt.customDiagnostics.push_back(
+      rangeDiagnostic("SensorChain_SpikeGain", "raw-out-of-range", 0.0, 19.0));
+
+  // 2. Sudden-change detector on the limited signal: must never fire — the
+  //    rate limiter bounds the delta at 0.5 per step.
+  opt.customDiagnostics.push_back(suddenChangeDiagnostic(
+      "SensorChain_Limiter", "limited-jump", 0.6));
+
+  // 3. Fully custom condition, expressed twice: as a C++ snippet compiled
+  //    into the generated simulation code, and as a callback for the
+  //    in-process engines.
+  CustomDiagnostic plateau;
+  plateau.actorPath = "SensorChain_Limiter";
+  plateau.name = "suspicious-plateau";
+  plateau.kind = CustomDiagnostic::Kind::Expression;
+  plateau.cppCondition = "step > 10 && cur == prev && cur > 15.0";
+  plateau.callback = [](double cur, double prev, uint64_t step) {
+    return step > 10 && cur == prev && cur > 15.0;
+  };
+  opt.customDiagnostics.push_back(plateau);
+
+  auto print = [](const char* engine, const SimulationResult& r) {
+    std::printf("%s:\n", engine);
+    bool any = false;
+    for (const auto& d : r.diagnostics) {
+      if (d.kind != DiagKind::Custom) continue;
+      any = true;
+      std::printf("  [custom:%s] %s first@%llu x%llu\n", d.message.c_str(),
+                  d.actorPath.c_str(),
+                  static_cast<unsigned long long>(d.firstStep),
+                  static_cast<unsigned long long>(d.count));
+    }
+    if (!any) std::printf("  no custom diagnostics fired\n");
+  };
+
+  auto acc = simulate(model, opt, TestCaseSpec{});
+  print("AccMoS (generated code)", acc);
+
+  opt.engine = Engine::SSE;
+  auto sse = simulate(model, opt, TestCaseSpec{});
+  print("SSE (interpreter)", sse);
+
+  std::printf("\nBoth engines report the same events — the compiled "
+              "cppCondition and the\nin-process callback implement the same "
+              "predicate.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// The paper's Figure 1 scenario as a library user would run it: a model
+// accumulates two inputs and eventually wraps an int32 Sum. Code-based
+// simulation finds the cumulative error orders of magnitude sooner than
+// interpretation.
+//
+//   $ ./examples/overflow_detection
+#include <cstdio>
+
+#include "bench_models/sample_overflow.h"
+#include "sim/simulator.h"
+
+using namespace accmos;
+
+namespace {
+
+void report(const char* engine, const SimulationResult& r) {
+  std::printf("%-8s ", engine);
+  if (auto step = r.firstDiagStep()) {
+    std::printf("detected wrap-on-overflow at step %llu after %.3fs\n",
+                static_cast<unsigned long long>(*step), r.execSeconds);
+    for (const auto& d : r.diagnostics) {
+      std::printf("         [%s] %s\n",
+                  std::string(diagKindName(d.kind)).c_str(),
+                  d.actorPath.c_str());
+    }
+  } else {
+    std::printf("no diagnostic within %llu steps (%.3fs)\n",
+                static_cast<unsigned long long>(r.stepsExecuted),
+                r.execSeconds);
+  }
+}
+
+}  // namespace
+
+int main() {
+  auto model = sampleOverflowModel();
+  TestCaseSpec tests = sampleOverflowStimulus();
+
+  SimOptions opt;
+  opt.maxSteps = ~uint64_t{0} >> 1;  // run until the error appears
+  opt.stopOnDiagnostic = true;
+
+  std::printf("Searching for the cumulative overflow of Figure 1...\n\n");
+
+  opt.engine = Engine::AccMoS;
+  auto acc = simulate(*model, opt, tests);
+  report("AccMoS", acc);
+
+  opt.engine = Engine::SSE;
+  auto sse = simulate(*model, opt, tests);
+  report("SSE", sse);
+
+  std::printf("\nSame step, very different wall-clock: %.3fs vs %.3fs "
+              "(%.0fx; paper: ~500x).\n",
+              sse.execSeconds, acc.execSeconds,
+              acc.execSeconds > 0 ? sse.execSeconds / acc.execSeconds : 0.0);
+  std::printf("AccMoS one-off cost: %.2fs generate + %.2fs compile.\n",
+              acc.generateSeconds, acc.compileSeconds);
+  return 0;
+}

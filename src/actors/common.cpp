@@ -1,0 +1,129 @@
+#include "actors/common.h"
+
+#include <cstdio>
+
+namespace accmos {
+
+std::string fmtD(double v) {
+  if (std::isnan(v)) return "(0.0/0.0)";
+  if (std::isinf(v)) return v > 0 ? "(1.0/0.0)" : "(-1.0/0.0)";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  std::string s(buf);
+  // Ensure the literal parses as double, not int.
+  if (s.find_first_of(".eEnN") == std::string::npos) s += ".0";
+  return s;
+}
+
+std::string fmtI(int64_t v) {
+  if (v == std::numeric_limits<int64_t>::min()) {
+    return "(-9223372036854775807LL - 1)";
+  }
+  return std::to_string(v) + "LL";
+}
+
+std::vector<DiagKind> arithDiags(const FlatModel& fm, const FlatActor& fa) {
+  std::vector<DiagKind> kinds;
+  if (fa.outputs.empty()) return kinds;
+  DataType outT = fm.signal(fa.outputs[0]).type;
+  if (isIntType(outT) || outT == DataType::Bool) {
+    kinds.push_back(saturating(fa) ? DiagKind::SaturateOnOverflow
+                                   : DiagKind::WrapOnOverflow);
+  } else {
+    kinds.push_back(DiagKind::NanInf);
+  }
+  bool downcast = false;
+  bool precision = false;
+  for (int sig : fa.inputs) {
+    DataType inT = fm.signal(sig).type;
+    downcast = downcast || isDowncast(inT, outT);
+    precision = precision || losesPrecision(inT, outT);
+  }
+  if (downcast) kinds.push_back(DiagKind::Downcast);
+  if (precision) kinds.push_back(DiagKind::PrecisionLoss);
+  return kinds;
+}
+
+std::vector<std::pair<DiagKind, std::string>> EmitFlags::asDiagCall() const {
+  std::vector<std::pair<DiagKind, std::string>> out;
+  if (!wrap.empty()) out.emplace_back(DiagKind::WrapOnOverflow, wrap);
+  if (!sat.empty()) out.emplace_back(DiagKind::SaturateOnOverflow, sat);
+  if (!prec.empty()) out.emplace_back(DiagKind::PrecisionLoss, prec);
+  if (!nan.empty()) out.emplace_back(DiagKind::NanInf, nan);
+  return out;
+}
+
+EmitFlags declareArithFlags(EmitContext& ctx) {
+  EmitFlags flags;
+  EmitSink& sink = ctx.sink();
+  if (sink.diagOn(DiagKind::WrapOnOverflow)) {
+    flags.wrap = sink.freshVar("wf");
+    ctx.line("int " + flags.wrap + " = 0;");
+  }
+  if (sink.diagOn(DiagKind::SaturateOnOverflow)) {
+    flags.sat = sink.freshVar("sf");
+    ctx.line("int " + flags.sat + " = 0;");
+  }
+  if (sink.diagOn(DiagKind::PrecisionLoss)) {
+    flags.prec = sink.freshVar("pf");
+    ctx.line("int " + flags.prec + " = 0;");
+  }
+  if (sink.diagOn(DiagKind::NanInf)) {
+    flags.nan = sink.freshVar("nf");
+    ctx.line("int " + flags.nan + " = 0;");
+  }
+  return flags;
+}
+
+std::string storeOutSat(EmitContext& ctx, const std::string& idx,
+                        const std::string& expr, const EmitFlags& flags,
+                        bool sat) {
+  DataType t = ctx.outType();
+  if (!sat || isFloatType(t)) {
+    return ctx.storeOutStmt(idx, expr, flags.wrap, flags.prec);
+  }
+  std::string elem = ctx.out() + "[" + idx + "]";
+  std::string s = "{ accmos_wrapres _w = accmos_sat_" +
+                  std::string(dataTypeName(t)) + "(" + expr + "); " + elem +
+                  " = (" + std::string(dataTypeCpp(t)) + ")_w.value;";
+  if (!flags.sat.empty()) s += " " + flags.sat + " |= _w.wrapped;";
+  if (!flags.prec.empty()) s += " " + flags.prec + " |= _w.prec;";
+  return s + " }";
+}
+
+void beginElemLoop(EmitContext& ctx, int width) {
+  ctx.line("for (int i = 0; i < " + std::to_string(width) + "; ++i) {");
+}
+
+void endElemLoop(EmitContext& ctx) { ctx.line("}"); }
+
+std::string nanCheckStmt(const EmitFlags& flags, const std::string& expr) {
+  if (flags.nan.empty()) return "";
+  return "if (!accmos_isfinite(" + expr + ")) " + flags.nan + " = 1;";
+}
+
+void finishEmit(EmitContext& ctx, const EmitFlags& flags) {
+  auto call = flags.asDiagCall();
+  if (ctx.sink().diagOn(DiagKind::Downcast)) {
+    // Static property (paper Fig. 4 line 4): fires on every execution.
+    call.emplace_back(DiagKind::Downcast, "1");
+  }
+  ctx.sink().diagCall(call);
+}
+
+std::vector<char> parseOps(const Actor& a, const std::string& def,
+                           const std::string& allowed) {
+  std::string ops = a.params().getString("ops", def);
+  if (ops.empty()) ops = def;
+  std::vector<char> out;
+  for (char c : ops) {
+    if (allowed.find(c) == std::string::npos) {
+      throw ModelError("actor '" + a.name() + "': bad ops character '" +
+                       std::string(1, c) + "' (allowed: " + allowed + ")");
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace accmos

@@ -1,0 +1,138 @@
+// Shared helpers for the actor template library implementations.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "actors/spec.h"
+
+namespace accmos {
+
+// ---- interpreter-side element access (scalar inputs broadcast) -----------
+
+inline double inD(EvalContext& ctx, int port, int elem) {
+  const Value& v = ctx.in(port);
+  return v.asDouble(v.width() == 1 ? 0 : elem);
+}
+
+inline int64_t inI(EvalContext& ctx, int port, int elem) {
+  const Value& v = ctx.in(port);
+  return v.asInt(v.width() == 1 ? 0 : elem);
+}
+
+inline bool inB(EvalContext& ctx, int port, int elem) {
+  const Value& v = ctx.in(port);
+  return v.asBool(v.width() == 1 ? 0 : elem);
+}
+
+// ---- flag accumulation across vector elements -----------------------------
+
+struct ArithFlags {
+  bool wrap = false;
+  bool sat = false;  // saturating arithmetic clamped
+  bool prec = false;
+  bool nan = false;
+};
+
+// Simulink's per-block "saturate on overflow" arithmetic option; supported
+// by Sum, Product, DataTypeConversion and DiscreteIntegrator.
+inline bool saturating(const FlatActor& fa) {
+  return fa.src->params().getBool("saturate", false);
+}
+
+// Stores `v` into output element with the real-domain conversion rules.
+inline void storeReal(EvalContext& ctx, int port, int elem, double v,
+                      ArithFlags& fl) {
+  Value& out = ctx.out(port);
+  if (!std::isfinite(v)) fl.nan = true;
+  auto sf = out.store(elem, v);
+  fl.wrap = fl.wrap || sf.wrapped;
+  fl.prec = fl.prec || sf.precisionLoss;
+}
+
+// Stores a wide integer result with wrap detection.
+inline void storeInt(EvalContext& ctx, int port, int elem, Int128 acc,
+                     ArithFlags& fl) {
+  IntResult r = wrapStore(ctx.out(port).type(), acc);
+  ctx.out(port).setI(elem, r.value);
+  fl.wrap = fl.wrap || r.wrapped;
+}
+
+// Reports the accumulated arithmetic diagnostics for the current actor;
+// one event per (actor, kind) per step, matching the generated code. The
+// downcast check is static (paper Fig. 4 line 4) and fires on every
+// execution when the plan includes it.
+inline void reportArith(EvalContext& ctx, const ArithFlags& fl) {
+  if (fl.wrap) ctx.reportDiag(DiagKind::WrapOnOverflow);
+  if (fl.sat) ctx.reportDiag(DiagKind::SaturateOnOverflow);
+  if (fl.prec) ctx.reportDiag(DiagKind::PrecisionLoss);
+  if (fl.nan) ctx.reportDiag(DiagKind::NanInf);
+  ctx.reportDiag(DiagKind::Downcast);
+}
+
+// The static downcast check of paper Fig. 4 (sizeof(out) < sizeof(in)):
+// fires on every execution when the plan includes it.
+inline void reportDowncast(EvalContext& ctx) {
+  ctx.reportDiag(DiagKind::Downcast);
+}
+
+// ---- diagnosis trait helpers ----------------------------------------------
+
+// The standard arithmetic diagnosis set for a calculation actor: wrap for
+// integer outputs, NaN/Inf for float outputs, downcast and precision loss
+// from the input/output type relationship (paper §3.2.B: "the type and
+// number of diagnoses vary depending on the actor type and its operator").
+std::vector<DiagKind> arithDiags(const FlatModel& fm, const FlatActor& fa);
+
+// True when the flattened actor computes in the real (double) domain.
+inline bool realDomain(const FlatModel& fm, const FlatActor& fa) {
+  return isFloatType(fm.signal(fa.outputs[0]).type);
+}
+
+// ---- codegen-side helpers --------------------------------------------------
+
+// Declares one int flag variable per enabled diagnostic kind; returns the
+// variable names (empty string when that kind is not in the plan). Order:
+// wrap, precision, nan.
+struct EmitFlags {
+  std::string wrap;
+  std::string sat;
+  std::string prec;
+  std::string nan;
+
+  std::vector<std::pair<DiagKind, std::string>> asDiagCall() const;
+};
+
+EmitFlags declareArithFlags(EmitContext& ctx);
+
+// storeOutStmt variant honouring the actor's saturate-on-overflow option:
+// integer outputs go through accmos_sat_<t> and flag flags.sat when `sat`.
+std::string storeOutSat(EmitContext& ctx, const std::string& idx,
+                        const std::string& expr, const EmitFlags& flags,
+                        bool sat);
+
+// Emits `for (int i = 0; i < width; ++i) {`.
+void beginElemLoop(EmitContext& ctx, int width);
+void endElemLoop(EmitContext& ctx);
+
+// Emits the NaN/Inf check on a double expression into flags.nan (no-op when
+// the NaN diagnostic is off or the output is not float).
+std::string nanCheckStmt(const EmitFlags& flags, const std::string& expr);
+
+// Finishes an actor's emit: diagnostic function call + downcast flag.
+void finishEmit(EmitContext& ctx, const EmitFlags& flags);
+
+// ---- misc -------------------------------------------------------------------
+
+// Parses a Sum/Product ops string ("++-", "**/"); throws on bad characters.
+std::vector<char> parseOps(const Actor& a, const std::string& def,
+                           const std::string& allowed);
+
+// Formats a double as a round-trippable C++ literal ("1.5", "1e30", ...).
+std::string fmtD(double v);
+
+// Formats an int64 literal with the LL suffix.
+std::string fmtI(int64_t v);
+
+}  // namespace accmos

@@ -1,0 +1,165 @@
+// Continuous-model support (the paper's §5 future work): a continuous-time
+// integrator solved by explicit fixed-step methods — forward Euler and the
+// Adams-Bashforth family (the "Adams solver" the paper proposes adopting).
+//
+// dy/dt = u is advanced once per simulation step with step size h:
+//   euler: y += h * u[n]
+//   ab2:   y += h * (3 u[n] - u[n-1]) / 2
+//   ab3:   y += h * (23 u[n] - 16 u[n-1] + 5 u[n-2]) / 12
+// Multistep methods self-start: the first step falls back to Euler, the
+// second (for ab3) to AB2. Being explicit in past derivatives, the actor
+// stays delay-class — feedback ODEs (oscillators, RC networks) need no
+// algebraic-loop treatment.
+//
+// State layout (width w output): [ y(w) | u1(w) | u2(w) | n(1) ].
+#include "actors/common.h"
+
+namespace accmos {
+namespace {
+
+int methodOrder(const Actor& a) {
+  std::string m = a.params().getString("method", "euler");
+  if (m == "euler") return 1;
+  if (m == "ab2") return 2;
+  if (m == "ab3") return 3;
+  throw ModelError("actor '" + a.name() +
+                   "': unknown ContinuousIntegrator method '" + m +
+                   "' (euler|ab2|ab3)");
+}
+
+class ContinuousIntegratorSpec : public ActorSpec {
+ public:
+  std::string type() const override { return "ContinuousIntegrator"; }
+
+  ActorCatalog::PortLayout ports(const Actor&) const override {
+    return {1, 1};
+  }
+  bool isDelayClass(const Actor&) const override { return true; }
+
+  std::optional<StateSpec> state(const FlatModel& fm,
+                                 const FlatActor& fa) const override {
+    int w = fm.signal(fa.outputs[0]).width;
+    StateSpec s;
+    s.type = DataType::F64;
+    s.width = 3 * w + 1;
+    double init = fa.src->params().getDouble("initial", 0.0);
+    s.initial.assign(static_cast<size_t>(w), init);
+    s.initial.resize(static_cast<size_t>(3 * w + 1), 0.0);
+    return s;
+  }
+
+  std::vector<DiagKind> diagnostics(const FlatModel& fm,
+                                    const FlatActor& fa) const override {
+    return arithDiags(fm, fa);
+  }
+
+  void validate(const FlatModel& fm, const FlatActor& fa) const override {
+    ActorSpec::validate(fm, fa);
+    if (!isFloatType(fm.signal(fa.outputs[0]).type)) {
+      throw ModelError("actor '" + fa.path +
+                       "': ContinuousIntegrator output must be float");
+    }
+    methodOrder(*fa.src);  // validates the method name
+    if (fa.src->params().getDouble("h", 0.01) <= 0.0) {
+      throw ModelError("actor '" + fa.path +
+                       "': solver step size h must be positive");
+    }
+  }
+
+  void eval(EvalContext& ctx) const override {
+    Value& out = ctx.out();
+    const Value& st = ctx.state();
+    for (int i = 0; i < out.width(); ++i) out.setF(i, st.f(i));
+  }
+
+  void update(EvalContext& ctx) const override {
+    const Actor& a = *ctx.fa().src;
+    int order = methodOrder(a);
+    double h = a.params().getDouble("h", 0.01);
+    Value& st = ctx.state();
+    int w = ctx.out().width();
+    int n = static_cast<int>(st.f(3 * w));
+    ArithFlags fl;
+    for (int i = 0; i < w; ++i) {
+      double u = inD(ctx, 0, i);
+      double u1 = st.f(w + i);
+      double u2 = st.f(2 * w + i);
+      double dy;
+      if (order == 1 || n == 0) {
+        dy = h * u;
+      } else if (order == 2 || n == 1) {
+        dy = h * (3.0 * u - u1) / 2.0;
+      } else {
+        dy = h * (23.0 * u - 16.0 * u1 + 5.0 * u2) / 12.0;
+      }
+      double y = st.f(i) + dy;
+      if (!std::isfinite(y)) fl.nan = true;
+      st.setF(i, y);
+      st.setF(2 * w + i, u1);
+      st.setF(w + i, u);
+    }
+    if (n < 2) st.setF(3 * w, static_cast<double>(n + 1));
+    reportArith(ctx, fl);
+  }
+
+  void emit(EmitContext& ctx) const override {
+    const Actor& a = *ctx.fa().src;
+    int order = methodOrder(a);
+    std::string h = fmtD(a.params().getDouble("h", 0.01));
+    int w = ctx.outWidth();
+    std::string st = ctx.state();
+    beginElemLoop(ctx, w);
+    ctx.line(ctx.out() + "[i] = " + st + "[i];");
+    endElemLoop(ctx);
+
+    EmitFlags flags;
+    if (ctx.sink().diagOn(DiagKind::NanInf)) {
+      flags.nan = ctx.sink().freshVar("nf");
+      ctx.sink().updateLinePre("int " + flags.nan + " = 0;");
+    }
+    std::string n = ctx.sink().freshVar("n");
+    ctx.sink().updateLinePre("int " + n + " = (int)" + st + "[" +
+                             std::to_string(3 * w) + "];");
+    ctx.sink().updateLine("for (int i = 0; i < " + std::to_string(w) +
+                          "; ++i) {");
+    ctx.sink().updateLine("double _u = " + ctx.inElem(0, "i", DataType::F64) +
+                          ";");
+    ctx.sink().updateLine("double _u1 = " + st + "[" + std::to_string(w) +
+                          " + i];");
+    ctx.sink().updateLine("double _u2 = " + st + "[" + std::to_string(2 * w) +
+                          " + i];");
+    ctx.sink().updateLine("(void)_u1; (void)_u2;");
+    std::string dy;
+    if (order == 1) {
+      dy = h + " * _u";
+    } else if (order == 2) {
+      dy = "(" + n + " == 0 ? " + h + " * _u : " + h +
+           " * (3.0 * _u - _u1) / 2.0)";
+    } else {
+      dy = "(" + n + " == 0 ? " + h + " * _u : (" + n + " == 1 ? " + h +
+           " * (3.0 * _u - _u1) / 2.0 : " + h +
+           " * (23.0 * _u - 16.0 * _u1 + 5.0 * _u2) / 12.0))";
+    }
+    ctx.sink().updateLine("double _y = " + st + "[i] + " + dy + ";");
+    if (!flags.nan.empty()) {
+      ctx.sink().updateLine("if (!accmos_isfinite(_y)) " + flags.nan +
+                            " = 1;");
+    }
+    ctx.sink().updateLine(st + "[i] = _y;");
+    ctx.sink().updateLine(st + "[" + std::to_string(2 * w) + " + i] = _u1;");
+    ctx.sink().updateLine(st + "[" + std::to_string(w) + " + i] = _u;");
+    ctx.sink().updateLine("}");
+    ctx.sink().updateLine("if (" + n + " < 2) " + st + "[" +
+                          std::to_string(3 * w) + "] = (double)(" + n +
+                          " + 1);");
+    ctx.sink().diagCallInUpdate(flags.asDiagCall());
+  }
+};
+
+}  // namespace
+
+void registerContinuousActors(std::vector<std::unique_ptr<ActorSpec>>& out) {
+  out.push_back(std::make_unique<ContinuousIntegratorSpec>());
+}
+
+}  // namespace accmos

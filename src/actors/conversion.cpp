@@ -1,0 +1,121 @@
+// DataTypeConversion: the actor whose generated diagnosis exercises the
+// downcast / precision-loss / wrap templates (paper Fig. 4 and the second
+// injected error of the CSEV case study, where a product's int16 output
+// narrows int32 voltage*current).
+#include "actors/common.h"
+
+namespace accmos {
+namespace {
+
+class DataTypeConversionSpec : public ActorSpec {
+ public:
+  std::string type() const override { return "DataTypeConversion"; }
+
+  ActorCatalog::PortLayout ports(const Actor&) const override {
+    return {1, 1};
+  }
+
+  std::vector<DiagKind> diagnostics(const FlatModel& fm,
+                                    const FlatActor& fa) const override {
+    std::vector<DiagKind> kinds;
+    DataType inT = fm.signal(fa.inputs[0]).type;
+    DataType outT = fm.signal(fa.outputs[0]).type;
+    if (isIntType(outT) || outT == DataType::Bool) {
+      kinds.push_back(saturating(fa) ? DiagKind::SaturateOnOverflow
+                                     : DiagKind::WrapOnOverflow);
+    }
+    if (isDowncast(inT, outT)) kinds.push_back(DiagKind::Downcast);
+    if (losesPrecision(inT, outT)) kinds.push_back(DiagKind::PrecisionLoss);
+    return kinds;
+  }
+
+  void eval(EvalContext& ctx) const override {
+    ArithFlags fl;
+    if (saturating(ctx.fa()) && !ctx.out().isFloat()) {
+      // Saturating conversion: clamp into the target range.
+      Value& out = ctx.out();
+      const Value& in = ctx.in(0);
+      for (int i = 0; i < out.width(); ++i) {
+        int src = in.width() == 1 ? 0 : i;
+        RealStoreResult r;
+        if (in.isFloat()) {
+          r = storeDoubleAsIntSat(out.type(), in.f(src));
+        } else {
+          IntResult w = satStore(out.type(), static_cast<Int128>(in.i(src)));
+          r.value = w.value;
+          r.wrapped = w.wrapped;
+        }
+        out.setI(i, r.value);
+        fl.sat = fl.sat || r.wrapped;
+        fl.prec = fl.prec || r.precisionLoss;
+      }
+    } else {
+      auto flags = ctx.out().convertFrom(ctx.in(0));
+      fl.wrap = flags.wrapped;
+      fl.prec = flags.precisionLoss;
+    }
+    reportArith(ctx, fl);
+  }
+
+  void emit(EmitContext& ctx) const override {
+    DataType inT = ctx.inType(0);
+    DataType outT = ctx.outType();
+    EmitFlags flags = declareArithFlags(ctx);
+    beginElemLoop(ctx, ctx.outWidth());
+    if (isFloatType(outT) && !isFloatType(inT)) {
+      // int -> float: flag precision loss when the integer does not
+      // round-trip (mirrors Value::convertFrom).
+      bool uns = isUnsignedInt(inT);
+      std::string x = ctx.sink().freshVar("x");
+      std::string v = ctx.sink().freshVar("v");
+      std::string elem =
+          ctx.in(0) + "[" + (ctx.inWidth(0) == 1 ? "0" : "i") + "]";
+      if (uns) {
+        ctx.line("uint64_t " + x + " = (uint64_t)" + elem + ";");
+      } else {
+        ctx.line("int64_t " + x + " = " + ctx.inElem(0, "i", DataType::I64) +
+                 ";");
+      }
+      ctx.line("double " + v + " = (double)" + x + ";");
+      ctx.line(ctx.out() + "[i] = (" + std::string(dataTypeCpp(outT)) + ")" +
+               v + ";");
+      if (!flags.prec.empty()) {
+        ctx.line("if ((double)" + ctx.out() + "[i] != " + v + ") " +
+                 flags.prec + " = 1;");
+        if (uns) {
+          ctx.line("else if ((uint64_t)(long double)" + v + " != " + x + ") " +
+                   flags.prec + " = 1;");
+        } else {
+          ctx.line("else if ((int64_t)" + v + " != " + x + ") " + flags.prec +
+                   " = 1;");
+        }
+      }
+    } else if (isFloatType(outT)) {
+      // float -> float.
+      ctx.line(ctx.storeOutStmt("i", ctx.inElem(0, "i", DataType::F64),
+                                flags.wrap, flags.prec));
+    } else if (isFloatType(inT)) {
+      // float -> int: round-to-nearest; wrap or saturate per the actor's
+      // arithmetic option.
+      ctx.line(storeOutSat(ctx, "i",
+                           "(double)(" + ctx.in(0) + "[" +
+                               (ctx.inWidth(0) == 1 ? "0" : "i") + "])",
+                           flags, saturating(ctx.fa())));
+    } else {
+      // int -> int: two's-complement wrap or saturating clamp.
+      ctx.line(storeOutSat(ctx, "i",
+                           "(__int128)" + ctx.inElem(0, "i", DataType::I64),
+                           flags, saturating(ctx.fa())));
+    }
+    endElemLoop(ctx);
+    finishEmit(ctx, flags);
+  }
+};
+
+}  // namespace
+
+void registerConversionActors(std::vector<std::unique_ptr<ActorSpec>>& out) {
+  out.push_back(std::make_unique<DataTypeConversionSpec>());
+}
+
+}  // namespace accmos

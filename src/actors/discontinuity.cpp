@@ -1,0 +1,377 @@
+// Discontinuity actors: Saturation, SaturationDynamic, DeadZone, Relay,
+// Quantizer, RateLimiter, WrapToZero. These are the decision-rich actors
+// that drive the decision-coverage rows of the paper's Table 3.
+#include <cmath>
+
+#include "actors/common.h"
+
+namespace accmos {
+namespace {
+
+class DiscontinuityBase : public ActorSpec {
+ public:
+  ActorCatalog::PortLayout ports(const Actor&) const override {
+    return {1, 1};
+  }
+  std::vector<DiagKind> diagnostics(const FlatModel& fm,
+                                    const FlatActor& fa) const override {
+    return arithDiags(fm, fa);
+  }
+};
+
+class SaturationSpec : public DiscontinuityBase {
+ public:
+  std::string type() const override { return "Saturation"; }
+
+  // Outcomes: below lower limit / within / above upper limit.
+  int decisionOutcomes(const Actor&) const override { return 3; }
+
+  void eval(EvalContext& ctx) const override {
+    const Actor& a = *ctx.fa().src;
+    double lo = a.params().getDouble("min", -1.0);
+    double hi = a.params().getDouble("max", 1.0);
+    ArithFlags fl;
+    for (int i = 0; i < ctx.out().width(); ++i) {
+      double v = inD(ctx, 0, i);
+      int outcome = v < lo ? 0 : (v > hi ? 2 : 1);
+      ctx.decision(outcome);
+      storeReal(ctx, 0, i, outcome == 0 ? lo : (outcome == 2 ? hi : v), fl);
+    }
+    reportArith(ctx, fl);
+  }
+
+  void emit(EmitContext& ctx) const override {
+    const Actor& a = *ctx.fa().src;
+    std::string lo = fmtD(a.params().getDouble("min", -1.0));
+    std::string hi = fmtD(a.params().getDouble("max", 1.0));
+    EmitFlags flags = declareArithFlags(ctx);
+    beginElemLoop(ctx, ctx.outWidth());
+    std::string v = ctx.sink().freshVar("v");
+    ctx.line("double " + v + " = " + ctx.inElem(0, "i", DataType::F64) + ";");
+    std::string o = ctx.sink().freshVar("o");
+    ctx.line("int " + o + " = " + v + " < " + lo + " ? 0 : (" + v + " > " +
+             hi + " ? 2 : 1);");
+    ctx.line(ctx.sink().covDecisionStmt(o));
+    ctx.line(ctx.storeOutStmt("i",
+                              o + " == 0 ? " + lo + " : (" + o + " == 2 ? " +
+                                  hi + " : " + v + ")",
+                              flags.wrap, flags.prec));
+    endElemLoop(ctx);
+    finishEmit(ctx, flags);
+  }
+
+  void validate(const FlatModel& fm, const FlatActor& fa) const override {
+    ActorSpec::validate(fm, fa);
+    if (fa.src->params().getDouble("min", -1.0) >
+        fa.src->params().getDouble("max", 1.0)) {
+      throw ModelError("actor '" + fa.path + "': Saturation min > max");
+    }
+  }
+};
+
+// Saturation with runtime limits: ports are (value, lower, upper).
+class SaturationDynamicSpec : public ActorSpec {
+ public:
+  std::string type() const override { return "SaturationDynamic"; }
+
+  ActorCatalog::PortLayout ports(const Actor&) const override {
+    return {3, 1};
+  }
+  int decisionOutcomes(const Actor&) const override { return 3; }
+
+  std::vector<DiagKind> diagnostics(const FlatModel& fm,
+                                    const FlatActor& fa) const override {
+    return arithDiags(fm, fa);
+  }
+
+  void eval(EvalContext& ctx) const override {
+    ArithFlags fl;
+    for (int i = 0; i < ctx.out().width(); ++i) {
+      double v = inD(ctx, 0, i);
+      double lo = inD(ctx, 1, i);
+      double hi = inD(ctx, 2, i);
+      int outcome = v < lo ? 0 : (v > hi ? 2 : 1);
+      ctx.decision(outcome);
+      storeReal(ctx, 0, i, outcome == 0 ? lo : (outcome == 2 ? hi : v), fl);
+    }
+    reportArith(ctx, fl);
+  }
+
+  void emit(EmitContext& ctx) const override {
+    EmitFlags flags = declareArithFlags(ctx);
+    beginElemLoop(ctx, ctx.outWidth());
+    std::string v = ctx.sink().freshVar("v");
+    std::string lo = ctx.sink().freshVar("lo");
+    std::string hi = ctx.sink().freshVar("hi");
+    ctx.line("double " + v + " = " + ctx.inElem(0, "i", DataType::F64) + ";");
+    ctx.line("double " + lo + " = " + ctx.inElem(1, "i", DataType::F64) + ";");
+    ctx.line("double " + hi + " = " + ctx.inElem(2, "i", DataType::F64) + ";");
+    std::string o = ctx.sink().freshVar("o");
+    ctx.line("int " + o + " = " + v + " < " + lo + " ? 0 : (" + v + " > " +
+             hi + " ? 2 : 1);");
+    ctx.line(ctx.sink().covDecisionStmt(o));
+    ctx.line(ctx.storeOutStmt("i",
+                              o + " == 0 ? " + lo + " : (" + o + " == 2 ? " +
+                                  hi + " : " + v + ")",
+                              flags.wrap, flags.prec));
+    endElemLoop(ctx);
+    finishEmit(ctx, flags);
+  }
+};
+
+class DeadZoneSpec : public DiscontinuityBase {
+ public:
+  std::string type() const override { return "DeadZone"; }
+
+  int decisionOutcomes(const Actor&) const override { return 3; }
+
+  void eval(EvalContext& ctx) const override {
+    const Actor& a = *ctx.fa().src;
+    double lo = a.params().getDouble("start", -0.5);
+    double hi = a.params().getDouble("end", 0.5);
+    ArithFlags fl;
+    for (int i = 0; i < ctx.out().width(); ++i) {
+      double v = inD(ctx, 0, i);
+      int outcome = v < lo ? 0 : (v > hi ? 2 : 1);
+      ctx.decision(outcome);
+      storeReal(ctx, 0, i,
+                outcome == 0 ? v - lo : (outcome == 2 ? v - hi : 0.0), fl);
+    }
+    reportArith(ctx, fl);
+  }
+
+  void emit(EmitContext& ctx) const override {
+    const Actor& a = *ctx.fa().src;
+    std::string lo = fmtD(a.params().getDouble("start", -0.5));
+    std::string hi = fmtD(a.params().getDouble("end", 0.5));
+    EmitFlags flags = declareArithFlags(ctx);
+    beginElemLoop(ctx, ctx.outWidth());
+    std::string v = ctx.sink().freshVar("v");
+    ctx.line("double " + v + " = " + ctx.inElem(0, "i", DataType::F64) + ";");
+    std::string o = ctx.sink().freshVar("o");
+    ctx.line("int " + o + " = " + v + " < " + lo + " ? 0 : (" + v + " > " +
+             hi + " ? 2 : 1);");
+    ctx.line(ctx.sink().covDecisionStmt(o));
+    ctx.line(ctx.storeOutStmt("i",
+                              o + " == 0 ? " + v + " - " + lo + " : (" + o +
+                                  " == 2 ? " + v + " - " + hi + " : 0.0)",
+                              flags.wrap, flags.prec));
+    endElemLoop(ctx);
+    finishEmit(ctx, flags);
+  }
+};
+
+// Hysteresis relay; per-element on/off state.
+class RelaySpec : public DiscontinuityBase {
+ public:
+  std::string type() const override { return "Relay"; }
+
+  int decisionOutcomes(const Actor&) const override { return 2; }
+
+  std::optional<StateSpec> state(const FlatModel& fm,
+                                 const FlatActor& fa) const override {
+    StateSpec s;
+    s.type = DataType::Bool;
+    s.width = fm.signal(fa.outputs[0]).width;
+    s.initial = {fa.src->params().getBool("initialOn", false) ? 1.0 : 0.0};
+    return s;
+  }
+
+  void eval(EvalContext& ctx) const override {
+    const Actor& a = *ctx.fa().src;
+    double onPoint = a.params().getDouble("onPoint", 1.0);
+    double offPoint = a.params().getDouble("offPoint", -1.0);
+    double onValue = a.params().getDouble("onValue", 1.0);
+    double offValue = a.params().getDouble("offValue", 0.0);
+    Value& st = ctx.state();
+    ArithFlags fl;
+    for (int i = 0; i < ctx.out().width(); ++i) {
+      double v = inD(ctx, 0, i);
+      bool on = st.asBool(i);
+      if (v >= onPoint) on = true;
+      else if (v <= offPoint) on = false;
+      st.setI(i, on ? 1 : 0);
+      ctx.decision(on ? 0 : 1);
+      storeReal(ctx, 0, i, on ? onValue : offValue, fl);
+    }
+    reportArith(ctx, fl);
+  }
+
+  void emit(EmitContext& ctx) const override {
+    const Actor& a = *ctx.fa().src;
+    EmitFlags flags = declareArithFlags(ctx);
+    beginElemLoop(ctx, ctx.outWidth());
+    std::string v = ctx.sink().freshVar("v");
+    ctx.line("double " + v + " = " + ctx.inElem(0, "i", DataType::F64) + ";");
+    ctx.line("if (" + v + " >= " + fmtD(a.params().getDouble("onPoint", 1.0)) +
+             ") " + ctx.state() + "[i] = 1; else if (" + v + " <= " +
+             fmtD(a.params().getDouble("offPoint", -1.0)) + ") " + ctx.state() +
+             "[i] = 0;");
+    ctx.line(ctx.sink().covDecisionStmt(ctx.state() + "[i] ? 0 : 1"));
+    ctx.line(ctx.storeOutStmt("i",
+                              ctx.state() + "[i] ? " +
+                                  fmtD(a.params().getDouble("onValue", 1.0)) +
+                                  " : " +
+                                  fmtD(a.params().getDouble("offValue", 0.0)),
+                              flags.wrap, flags.prec));
+    endElemLoop(ctx);
+    finishEmit(ctx, flags);
+  }
+};
+
+class QuantizerSpec : public DiscontinuityBase {
+ public:
+  std::string type() const override { return "Quantizer"; }
+
+  void eval(EvalContext& ctx) const override {
+    double q = ctx.fa().src->params().getDouble("interval", 0.5);
+    ArithFlags fl;
+    for (int i = 0; i < ctx.out().width(); ++i) {
+      double v = inD(ctx, 0, i);
+      storeReal(ctx, 0, i, q * std::nearbyint(v / q), fl);
+    }
+    reportArith(ctx, fl);
+  }
+
+  void emit(EmitContext& ctx) const override {
+    std::string q = fmtD(ctx.fa().src->params().getDouble("interval", 0.5));
+    EmitFlags flags = declareArithFlags(ctx);
+    beginElemLoop(ctx, ctx.outWidth());
+    ctx.line(ctx.storeOutStmt("i",
+                              q + " * nearbyint(" +
+                                  ctx.inElem(0, "i", DataType::F64) + " / " +
+                                  q + ")",
+                              flags.wrap, flags.prec));
+    endElemLoop(ctx);
+    finishEmit(ctx, flags);
+  }
+
+  void validate(const FlatModel& fm, const FlatActor& fa) const override {
+    ActorSpec::validate(fm, fa);
+    if (fa.src->params().getDouble("interval", 0.5) <= 0.0) {
+      throw ModelError("actor '" + fa.path +
+                       "': Quantizer interval must be positive");
+    }
+  }
+};
+
+// Limits the per-step change of the signal; previous output kept as state.
+class RateLimiterSpec : public DiscontinuityBase {
+ public:
+  std::string type() const override { return "RateLimiter"; }
+
+  int decisionOutcomes(const Actor&) const override { return 3; }
+
+  std::optional<StateSpec> state(const FlatModel& fm,
+                                 const FlatActor& fa) const override {
+    StateSpec s;
+    s.type = DataType::F64;
+    s.width = fm.signal(fa.outputs[0]).width;
+    s.initial = {fa.src->params().getDouble("initial", 0.0)};
+    return s;
+  }
+
+  void eval(EvalContext& ctx) const override {
+    const Actor& a = *ctx.fa().src;
+    double rising = a.params().getDouble("rising", 1.0);
+    double falling = a.params().getDouble("falling", -1.0);
+    Value& st = ctx.state();
+    ArithFlags fl;
+    for (int i = 0; i < ctx.out().width(); ++i) {
+      double v = inD(ctx, 0, i);
+      double prev = st.f(i);
+      double delta = v - prev;
+      double r;
+      int outcome;
+      if (delta > rising) {
+        r = prev + rising;
+        outcome = 0;
+      } else if (delta < falling) {
+        r = prev + falling;
+        outcome = 2;
+      } else {
+        r = v;
+        outcome = 1;
+      }
+      ctx.decision(outcome);
+      st.setF(i, r);
+      storeReal(ctx, 0, i, r, fl);
+    }
+    reportArith(ctx, fl);
+  }
+
+  void emit(EmitContext& ctx) const override {
+    const Actor& a = *ctx.fa().src;
+    std::string rising = fmtD(a.params().getDouble("rising", 1.0));
+    std::string falling = fmtD(a.params().getDouble("falling", -1.0));
+    EmitFlags flags = declareArithFlags(ctx);
+    beginElemLoop(ctx, ctx.outWidth());
+    std::string v = ctx.sink().freshVar("v");
+    std::string d = ctx.sink().freshVar("d");
+    std::string r = ctx.sink().freshVar("r");
+    std::string o = ctx.sink().freshVar("o");
+    ctx.line("double " + v + " = " + ctx.inElem(0, "i", DataType::F64) + ";");
+    ctx.line("double " + d + " = " + v + " - " + ctx.state() + "[i];");
+    ctx.line("double " + r + "; int " + o + ";");
+    ctx.line("if (" + d + " > " + rising + ") { " + r + " = " + ctx.state() +
+             "[i] + " + rising + "; " + o + " = 0; } else if (" + d + " < " +
+             falling + ") { " + r + " = " + ctx.state() + "[i] + " + falling +
+             "; " + o + " = 2; } else { " + r + " = " + v + "; " + o +
+             " = 1; }");
+    ctx.line(ctx.sink().covDecisionStmt(o));
+    ctx.line(ctx.state() + "[i] = " + r + ";");
+    ctx.line(ctx.storeOutStmt("i", r, flags.wrap, flags.prec));
+    endElemLoop(ctx);
+    finishEmit(ctx, flags);
+  }
+};
+
+class WrapToZeroSpec : public DiscontinuityBase {
+ public:
+  std::string type() const override { return "WrapToZero"; }
+
+  int decisionOutcomes(const Actor&) const override { return 2; }
+
+  void eval(EvalContext& ctx) const override {
+    double thr = ctx.fa().src->params().getDouble("threshold", 255.0);
+    ArithFlags fl;
+    for (int i = 0; i < ctx.out().width(); ++i) {
+      double v = inD(ctx, 0, i);
+      bool wrap = v > thr;
+      ctx.decision(wrap ? 0 : 1);
+      storeReal(ctx, 0, i, wrap ? 0.0 : v, fl);
+    }
+    reportArith(ctx, fl);
+  }
+
+  void emit(EmitContext& ctx) const override {
+    std::string thr =
+        fmtD(ctx.fa().src->params().getDouble("threshold", 255.0));
+    EmitFlags flags = declareArithFlags(ctx);
+    beginElemLoop(ctx, ctx.outWidth());
+    std::string v = ctx.sink().freshVar("v");
+    ctx.line("double " + v + " = " + ctx.inElem(0, "i", DataType::F64) + ";");
+    std::string w = ctx.sink().freshVar("w");
+    ctx.line("int " + w + " = (" + v + " > " + thr + ");");
+    ctx.line(ctx.sink().covDecisionStmt(w + " ? 0 : 1"));
+    ctx.line(ctx.storeOutStmt("i", w + " ? 0.0 : " + v, flags.wrap,
+                              flags.prec));
+    endElemLoop(ctx);
+    finishEmit(ctx, flags);
+  }
+};
+
+}  // namespace
+
+void registerDiscontinuityActors(
+    std::vector<std::unique_ptr<ActorSpec>>& out) {
+  out.push_back(std::make_unique<SaturationSpec>());
+  out.push_back(std::make_unique<SaturationDynamicSpec>());
+  out.push_back(std::make_unique<DeadZoneSpec>());
+  out.push_back(std::make_unique<RelaySpec>());
+  out.push_back(std::make_unique<QuantizerSpec>());
+  out.push_back(std::make_unique<RateLimiterSpec>());
+  out.push_back(std::make_unique<WrapToZeroSpec>());
+}
+
+}  // namespace accmos

@@ -1,0 +1,261 @@
+// Lookup tables: Lookup1D (linear interpolation / nearest) and Lookup2D
+// (bilinear). Inputs outside the breakpoint range clip and raise the
+// array-out-of-bounds diagnostic (§3.2.B).
+#include <cmath>
+#include <sstream>
+
+#include "actors/common.h"
+#include "actors/lut.h"
+
+namespace accmos {
+namespace {
+
+std::string tableLiteral(const std::vector<double>& v) {
+  std::ostringstream os;
+  os << "{";
+  for (size_t k = 0; k < v.size(); ++k) {
+    if (k > 0) os << ", ";
+    os << fmtD(v[k]);
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace
+
+// Shared 1-D lookup semantic; the generated runtime carries an identical
+// accmos_lut1() implementation.
+double accmosLut1(const std::vector<double>& xs, const std::vector<double>& ys,
+                  double v, bool nearest, int& outcome) {
+  int n = static_cast<int>(xs.size());
+  if (v <= xs[0]) {
+    outcome = v < xs[0] ? 0 : 1;
+    return ys[0];
+  }
+  if (v >= xs[static_cast<size_t>(n - 1)]) {
+    outcome = v > xs[static_cast<size_t>(n - 1)] ? 2 : 1;
+    return ys[static_cast<size_t>(n - 1)];
+  }
+  outcome = 1;
+  int k = 0;
+  while (k + 2 < n && v >= xs[static_cast<size_t>(k + 1)]) ++k;
+  double x0 = xs[static_cast<size_t>(k)];
+  double x1 = xs[static_cast<size_t>(k + 1)];
+  double y0 = ys[static_cast<size_t>(k)];
+  double y1 = ys[static_cast<size_t>(k + 1)];
+  if (nearest) return (v - x0 <= x1 - v) ? y0 : y1;
+  return y0 + (y1 - y0) * (v - x0) / (x1 - x0);
+}
+
+double accmosLut2(const std::vector<double>& xs, const std::vector<double>& ys,
+                  const std::vector<double>& zs, double u, double v,
+                  bool& clipped) {
+  int nx = static_cast<int>(xs.size());
+  int ny = static_cast<int>(ys.size());
+  if (u < xs[0]) { u = xs[0]; clipped = true; }
+  if (u > xs[static_cast<size_t>(nx - 1)]) { u = xs[static_cast<size_t>(nx - 1)]; clipped = true; }
+  if (v < ys[0]) { v = ys[0]; clipped = true; }
+  if (v > ys[static_cast<size_t>(ny - 1)]) { v = ys[static_cast<size_t>(ny - 1)]; clipped = true; }
+  int ix = 0;
+  while (ix + 2 < nx && u >= xs[static_cast<size_t>(ix + 1)]) ++ix;
+  int iy = 0;
+  while (iy + 2 < ny && v >= ys[static_cast<size_t>(iy + 1)]) ++iy;
+  double x0 = xs[static_cast<size_t>(ix)], x1 = xs[static_cast<size_t>(ix + 1)];
+  double y0 = ys[static_cast<size_t>(iy)], y1 = ys[static_cast<size_t>(iy + 1)];
+  double tx = (u - x0) / (x1 - x0);
+  double ty = (v - y0) / (y1 - y0);
+  double z00 = zs[static_cast<size_t>(ix * ny + iy)];
+  double z01 = zs[static_cast<size_t>(ix * ny + iy + 1)];
+  double z10 = zs[static_cast<size_t>((ix + 1) * ny + iy)];
+  double z11 = zs[static_cast<size_t>((ix + 1) * ny + iy + 1)];
+  double a = z00 + (z10 - z00) * tx;
+  double b = z01 + (z11 - z01) * tx;
+  return a + (b - a) * ty;
+}
+
+namespace {
+
+class Lookup1DSpec : public ActorSpec {
+ public:
+  std::string type() const override { return "Lookup1D"; }
+
+  ActorCatalog::PortLayout ports(const Actor&) const override {
+    return {1, 1};
+  }
+
+  // Outcomes: clipped below / interior / clipped above.
+  int decisionOutcomes(const Actor&) const override { return 3; }
+
+  std::vector<DiagKind> diagnostics(const FlatModel& fm,
+                                    const FlatActor& fa) const override {
+    auto kinds = arithDiags(fm, fa);
+    kinds.push_back(DiagKind::OutOfBounds);
+    return kinds;
+  }
+
+  void eval(EvalContext& ctx) const override {
+    const Actor& a = *ctx.fa().src;
+    auto xs = a.params().getDoubleList("x");
+    auto ys = a.params().getDoubleList("y");
+    bool nearest = a.params().getString("method", "interp") == "nearest";
+    ArithFlags fl;
+    bool oob = false;
+    for (int i = 0; i < ctx.out().width(); ++i) {
+      int outcome = 1;
+      double r = accmosLut1(xs, ys, inD(ctx, 0, i), nearest, outcome);
+      ctx.decision(outcome);
+      oob = oob || outcome != 1;
+      storeReal(ctx, 0, i, r, fl);
+    }
+    if (oob) ctx.reportDiag(DiagKind::OutOfBounds);
+    reportArith(ctx, fl);
+  }
+
+  void emit(EmitContext& ctx) const override {
+    const Actor& a = *ctx.fa().src;
+    auto xs = a.params().getDoubleList("x");
+    auto ys = a.params().getDoubleList("y");
+    bool nearest = a.params().getString("method", "interp") == "nearest";
+    std::string xt = ctx.sink().freshVar("lutx");
+    std::string yt = ctx.sink().freshVar("luty");
+    ctx.line("static const double " + xt + "[" + std::to_string(xs.size()) +
+             "] = " + tableLiteral(xs) + ";");
+    ctx.line("static const double " + yt + "[" + std::to_string(ys.size()) +
+             "] = " + tableLiteral(ys) + ";");
+    EmitFlags flags = declareArithFlags(ctx);
+    std::string oob;
+    if (ctx.sink().diagOn(DiagKind::OutOfBounds)) {
+      oob = ctx.sink().freshVar("oob");
+      ctx.line("int " + oob + " = 0;");
+    }
+    beginElemLoop(ctx, ctx.outWidth());
+    std::string o = ctx.sink().freshVar("o");
+    std::string r = ctx.sink().freshVar("r");
+    ctx.line("int " + o + " = 1;");
+    ctx.line("double " + r + " = accmos_lut1(" + xt + ", " + yt + ", " +
+             std::to_string(xs.size()) + ", " +
+             ctx.inElem(0, "i", DataType::F64) + ", " +
+             (nearest ? "1" : "0") + ", &" + o + ");");
+    ctx.line(ctx.sink().covDecisionStmt(o));
+    if (!oob.empty()) ctx.line("if (" + o + " != 1) " + oob + " = 1;");
+    ctx.line(ctx.storeOutStmt("i", r, flags.wrap, flags.prec));
+    endElemLoop(ctx);
+    auto call = flags.asDiagCall();
+    if (!oob.empty()) call.emplace_back(DiagKind::OutOfBounds, oob);
+    if (ctx.sink().diagOn(DiagKind::Downcast)) {
+      call.emplace_back(DiagKind::Downcast, "1");
+    }
+    ctx.sink().diagCall(call);
+  }
+
+  void validate(const FlatModel& fm, const FlatActor& fa) const override {
+    ActorSpec::validate(fm, fa);
+    auto xs = fa.src->params().getDoubleList("x");
+    auto ys = fa.src->params().getDoubleList("y");
+    if (xs.size() < 2 || xs.size() != ys.size()) {
+      throw ModelError("actor '" + fa.path +
+                       "': Lookup1D needs matching x/y tables of size >= 2");
+    }
+    for (size_t k = 1; k < xs.size(); ++k) {
+      if (xs[k] <= xs[k - 1]) {
+        throw ModelError("actor '" + fa.path +
+                         "': Lookup1D x table must be strictly increasing");
+      }
+    }
+  }
+};
+
+class Lookup2DSpec : public ActorSpec {
+ public:
+  std::string type() const override { return "Lookup2D"; }
+
+  // Ports: row input (x), column input (y).
+  ActorCatalog::PortLayout ports(const Actor&) const override {
+    return {2, 1};
+  }
+
+  int decisionOutcomes(const Actor&) const override { return 2; }
+
+  std::vector<DiagKind> diagnostics(const FlatModel& fm,
+                                    const FlatActor& fa) const override {
+    auto kinds = arithDiags(fm, fa);
+    kinds.push_back(DiagKind::OutOfBounds);
+    return kinds;
+  }
+
+  void eval(EvalContext& ctx) const override {
+    const Actor& a = *ctx.fa().src;
+    auto xs = a.params().getDoubleList("x");
+    auto ys = a.params().getDoubleList("y");
+    auto zs = a.params().getDoubleList("z");
+    double u = inD(ctx, 0, 0);
+    double v = inD(ctx, 1, 0);
+    bool clipped = false;
+    double r = accmosLut2(xs, ys, zs, u, v, clipped);
+    ctx.decision(clipped ? 0 : 1);
+    if (clipped) ctx.reportDiag(DiagKind::OutOfBounds);
+    ArithFlags fl;
+    storeReal(ctx, 0, 0, r, fl);
+    reportArith(ctx, fl);
+  }
+
+  void emit(EmitContext& ctx) const override {
+    const Actor& a = *ctx.fa().src;
+    auto xs = a.params().getDoubleList("x");
+    auto ys = a.params().getDoubleList("y");
+    auto zs = a.params().getDoubleList("z");
+    std::string xt = ctx.sink().freshVar("lutx");
+    std::string yt = ctx.sink().freshVar("luty");
+    std::string zt = ctx.sink().freshVar("lutz");
+    ctx.line("static const double " + xt + "[" + std::to_string(xs.size()) +
+             "] = " + tableLiteral(xs) + ";");
+    ctx.line("static const double " + yt + "[" + std::to_string(ys.size()) +
+             "] = " + tableLiteral(ys) + ";");
+    ctx.line("static const double " + zt + "[" + std::to_string(zs.size()) +
+             "] = " + tableLiteral(zs) + ";");
+    EmitFlags flags = declareArithFlags(ctx);
+    std::string c = ctx.sink().freshVar("clip");
+    std::string r = ctx.sink().freshVar("r");
+    ctx.line("int " + c + " = 0;");
+    ctx.line("double " + r + " = accmos_lut2(" + xt + ", " +
+             std::to_string(xs.size()) + ", " + yt + ", " +
+             std::to_string(ys.size()) + ", " + zt + ", " +
+             ctx.inElem(0, "0", DataType::F64) + ", " +
+             ctx.inElem(1, "0", DataType::F64) + ", &" + c + ");");
+    ctx.line(ctx.sink().covDecisionStmt(c + " ? 0 : 1"));
+    ctx.line(ctx.storeOutStmt("0", r, flags.wrap, flags.prec));
+    auto call = flags.asDiagCall();
+    if (ctx.sink().diagOn(DiagKind::OutOfBounds)) {
+      call.emplace_back(DiagKind::OutOfBounds, c);
+    }
+    if (ctx.sink().diagOn(DiagKind::Downcast)) {
+      call.emplace_back(DiagKind::Downcast, "1");
+    }
+    ctx.sink().diagCall(call);
+  }
+
+  void validate(const FlatModel& fm, const FlatActor& fa) const override {
+    auto xs = fa.src->params().getDoubleList("x");
+    auto ys = fa.src->params().getDoubleList("y");
+    auto zs = fa.src->params().getDoubleList("z");
+    if (xs.size() < 2 || ys.size() < 2 || zs.size() != xs.size() * ys.size()) {
+      throw ModelError("actor '" + fa.path +
+                       "': Lookup2D needs x,y >= 2 and z of size |x|*|y|");
+    }
+    if (fm.signal(fa.inputs[0]).width != 1 ||
+        fm.signal(fa.inputs[1]).width != 1 ||
+        fm.signal(fa.outputs[0]).width != 1) {
+      throw ModelError("actor '" + fa.path + "': Lookup2D is scalar-only");
+    }
+  }
+
+};
+
+}  // namespace
+
+void registerLookupActors(std::vector<std::unique_ptr<ActorSpec>>& out) {
+  out.push_back(std::make_unique<Lookup1DSpec>());
+  out.push_back(std::make_unique<Lookup2DSpec>());
+}
+
+}  // namespace accmos

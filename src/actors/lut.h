@@ -1,0 +1,19 @@
+// Shared lookup-table semantics used by the Lookup1D/Lookup2D actor specs
+// and the typed fast-mode engines; the generated runtime's accmos_lut1/2
+// mirror these.
+#pragma once
+
+#include <vector>
+
+namespace accmos {
+
+// 1-D clipping lookup. outcome: 0 below range, 1 interior, 2 above.
+double accmosLut1(const std::vector<double>& xs, const std::vector<double>& ys,
+                  double v, bool nearest, int& outcome);
+
+// Clamping bilinear lookup; z is row-major over x (z[ix*ny+iy]).
+double accmosLut2(const std::vector<double>& xs, const std::vector<double>& ys,
+                  const std::vector<double>& zs, double u, double v,
+                  bool& clipped);
+
+}  // namespace accmos

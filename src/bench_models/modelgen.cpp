@@ -1,0 +1,458 @@
+#include "bench_models/modelgen.h"
+
+#include <cmath>
+
+namespace accmos {
+
+ModelBuilder::ModelBuilder(const std::string& name, uint64_t seed)
+    : model_(std::make_unique<Model>(name)), rng_(seed) {}
+
+std::string ModelBuilder::uniqueName(const std::string& base) {
+  return base + std::to_string(nameCounter_++);
+}
+
+Wire ModelBuilder::addInport(DataType t) {
+  std::string name = "In" + std::to_string(nextInport_);
+  Actor& a = root().addActor(name, "Inport");
+  a.params().setInt("port", nextInport_);
+  a.setDtype(t);
+  ++nextInport_;
+  Wire w{name, 1};
+  if (t == DataType::F64) {
+    pushPool(w);
+    rawInports_.push_back(w);
+  }
+  return w;
+}
+
+Wire ModelBuilder::rawInport() {
+  if (rawInports_.empty()) {
+    throw ModelError("model builder has no f64 inports yet");
+  }
+  Wire w = rawInports_[rawNext_ % rawInports_.size()];
+  ++rawNext_;
+  return w;
+}
+
+void ModelBuilder::addOutport(Wire w) {
+  std::string name = "Out" + std::to_string(nextOutport_);
+  Actor& a = root().addActor(name, "Outport");
+  a.params().setInt("port", nextOutport_);
+  ++nextOutport_;
+  root().connect(w.actor, w.port, name, 1);
+}
+
+Wire ModelBuilder::pool() {
+  if (pool_.empty()) {
+    throw ModelError("model builder pool is empty — add inports first");
+  }
+  Wire w = pool_[poolNext_ % pool_.size()];
+  ++poolNext_;
+  return w;
+}
+
+void ModelBuilder::pushPool(Wire w) { pool_.push_back(std::move(w)); }
+
+Actor& ModelBuilder::makeSubsystem(const std::string& base,
+                                   const std::vector<Wire>& srcs,
+                                   bool enabled, double threshold,
+                                   std::vector<Wire>* innerIns,
+                                   int* rootExtras) {
+  *rootExtras = 0;
+  std::string name = uniqueName(base);
+  Actor& sub = root().addActor(name, enabled ? "EnabledSubsystem"
+                                             : "Subsystem");
+  System& sys = sub.makeSubsystem();
+  innerIns->clear();
+  int dataInputs = static_cast<int>(srcs.size());
+  for (int k = 1; k <= dataInputs; ++k) {
+    std::string in = "In" + std::to_string(k);
+    Actor& proxy = sys.addActor(in, "Inport");
+    proxy.params().setInt("port", k);
+    const Wire& src = srcs[static_cast<size_t>(k - 1)];
+    root().connect(src.actor, src.port, name, k);
+    innerIns->push_back(Wire{in, 1});
+  }
+  if (enabled) {
+    // Root-level rare condition driving the enable port.
+    std::string cmp = uniqueName("En");
+    Actor& c = root().addActor(cmp, "CompareToConstant");
+    c.params().set("op", ">");
+    c.params().setDouble("value", threshold);
+    Wire src = pool();
+    root().connect(src.actor, src.port, cmp, 1);
+    root().connect(cmp, 1, name, dataInputs + 1);
+    *rootExtras = 1;
+  }
+  return sub;
+}
+
+Wire ModelBuilder::compChain(System& sys, Wire cur, Wire aux, int n) {
+  // Mostly plain arithmetic: these are the "computational actors" whose
+  // interpretive overhead dominates SSE and which compiled code reduces to
+  // a handful of instructions (the paper's explanation for the largest
+  // speedups). Contraction gains plus an occasional Saturation keep long
+  // simulations bounded and diagnostic-free.
+  int added = 0;
+  while (added < n) {
+    int pick = static_cast<int>(rng_.next() % 16);
+    if (n - added == 1 && pick >= 14) pick = 0;
+    std::string name;
+    switch (pick) {
+      case 0:
+      case 1:
+      case 2: {
+        name = uniqueName("Gain");
+        Actor& a = sys.addActor(name, "Gain");
+        a.params().setDouble("gain", 0.3 + rng_.nextUnit() * 0.6);
+        sys.connect(cur.actor, cur.port, name, 1);
+        added += 1;
+        break;
+      }
+      case 3:
+      case 4: {
+        name = uniqueName("Bias");
+        Actor& a = sys.addActor(name, "Bias");
+        a.params().setDouble("bias", rng_.nextUniform(-0.5, 0.5));
+        sys.connect(cur.actor, cur.port, name, 1);
+        added += 1;
+        break;
+      }
+      case 5:
+      case 6:
+      case 7: {
+        name = uniqueName("Add");
+        Actor& a = sys.addActor(name, "Sum");
+        a.params().set("ops", rng_.next() % 2 == 0 ? "++" : "+-");
+        sys.connect(cur.actor, cur.port, name, 1);
+        sys.connect(aux.actor, aux.port, name, 2);
+        added += 1;
+        break;
+      }
+      case 8:
+      case 9: {
+        name = uniqueName("Mul");
+        Actor& a = sys.addActor(name, "Product");
+        a.params().set("ops", "**");
+        sys.connect(cur.actor, cur.port, name, 1);
+        sys.connect(aux.actor, aux.port, name, 2);
+        added += 1;
+        break;
+      }
+      case 10: {
+        name = uniqueName("Max");
+        Actor& a = sys.addActor(name, "MinMax");
+        a.params().set("op", rng_.next() % 2 == 0 ? "max" : "min");
+        a.params().setInt("inputs", 2);
+        sys.connect(cur.actor, cur.port, name, 1);
+        sys.connect(aux.actor, aux.port, name, 2);
+        added += 1;
+        break;
+      }
+      case 11: {
+        name = uniqueName("Poly");
+        Actor& a = sys.addActor(name, "Polynomial");
+        a.params().set("coeffs", "0.2,0.5,0.1");
+        sys.connect(cur.actor, cur.port, name, 1);
+        added += 1;
+        break;
+      }
+      case 12: {
+        name = uniqueName("Abs");
+        sys.addActor(name, "Abs");
+        sys.connect(cur.actor, cur.port, name, 1);
+        added += 1;
+        break;
+      }
+      case 13: {
+        name = uniqueName("Quant");
+        Actor& a = sys.addActor(name, "Quantizer");
+        a.params().setDouble("interval", 0.125);
+        sys.connect(cur.actor, cur.port, name, 1);
+        added += 1;
+        break;
+      }
+      case 14: {
+        // Bounding element: keeps arithmetic chains finite over millions of
+        // steps without a libm call.
+        name = uniqueName("Clamp");
+        Actor& a = sys.addActor(name, "Saturation");
+        a.params().setDouble("min", -4.0);
+        a.params().setDouble("max", 4.0);
+        sys.connect(cur.actor, cur.port, name, 1);
+        added += 1;
+        break;
+      }
+      default: {
+        name = uniqueName("Sin");
+        Actor& a = sys.addActor(name, "Trigonometry");
+        a.params().set("op", rng_.next() % 2 == 0 ? "sin" : "cos");
+        sys.connect(cur.actor, cur.port, name, 1);
+        added += 1;
+        break;
+      }
+    }
+    cur = Wire{name, 1};
+  }
+  return cur;
+}
+
+int ModelBuilder::addCompSubsystem(int innerActors) {
+  int inner = std::max(innerActors, kMinComp);
+  std::vector<Wire> ins;
+  int extras = 0;
+  Actor& sub = makeSubsystem("Comp", {pool(), pool()}, false, 0.0, &ins, &extras);
+  System& sys = *sub.subsystem();
+  Wire cur = compChain(sys, ins[0], ins[1], inner - 3);
+  Actor& out = sys.addActor("Out1", "Outport");
+  out.params().setInt("port", 1);
+  sys.connect(cur.actor, cur.port, "Out1", 1);
+  pushPool(Wire{sub.name(), 1});
+  return inner + 1 + extras;
+}
+
+int ModelBuilder::addLogicSubsystem(int innerActors) {
+  int inner = std::max(innerActors, kMinLogic);
+  std::vector<Wire> ins;
+  int extras = 0;
+  // Data from the pool plus two raw full-range inports: the rare-threshold
+  // comparisons must see the whole [0,1) stimulus range to fire eventually.
+  Actor& sub = makeSubsystem("Ctrl", {pool(), rawInport(), rawInport()},
+                             false, 0.0, &ins, &extras);
+  System& sys = *sub.subsystem();
+
+  int added = 3;  // the three inport proxies
+  Wire cur = ins[0];
+  Wire aux = ins[1];
+  Wire raw1 = ins[1];
+  Wire raw2 = ins[2];
+  // Rounds of compare/logic/switch (6 actors each) until the budget allows
+  // only padding.
+  // Condition rarities spread across decades: common branches saturate
+  // immediately, the rare ones only after millions of steps — which is why
+  // the faster engine keeps gaining coverage within the same wall-clock
+  // budget (the paper's Table 3 dynamics). The AND of two conditions
+  // multiplies the rarities, making MC/DC independence pairs rarer still.
+  static const double kRareHi[] = {0.6,    0.9,     0.99,
+                                   0.999,  0.9999,  0.99999};
+  static const double kRareLo[] = {0.4, 0.1, 0.02, 0.005, 0.001, 0.0002};
+  int round = 0;
+  while (inner - added >= 6 + 1) {  // +1 for the outport
+    double t1 = kRareHi[static_cast<size_t>(rng_.next() % 6)];
+    std::string c1 = uniqueName("Cmp");
+    Actor& a1 = sys.addActor(c1, "CompareToConstant");
+    a1.params().set("op", ">");
+    a1.params().setDouble("value", t1);
+    sys.connect(raw1.actor, raw1.port, c1, 1);
+
+    std::string c2 = uniqueName("Cmp");
+    Actor& a2 = sys.addActor(c2, "CompareToConstant");
+    a2.params().set("op", "<");
+    a2.params().setDouble("value",
+                          kRareLo[static_cast<size_t>(rng_.next() % 6)]);
+    sys.connect(raw2.actor, raw2.port, c2, 1);
+    ++round;
+
+    std::string c3 = uniqueName("Rel");
+    Actor& a3 = sys.addActor(c3, "RelationalOperator");
+    a3.params().set("op", "<");
+    sys.connect(cur.actor, cur.port, c3, 1);
+    sys.connect(raw1.actor, raw1.port, c3, 2);
+
+    std::string l1 = uniqueName("And");
+    Actor& a4 = sys.addActor(l1, "LogicalOperator");
+    a4.params().set("op", rng_.next() % 2 == 0 ? "AND" : "OR");
+    a4.params().setInt("inputs", 2);
+    sys.connect(c1, 1, l1, 1);
+    sys.connect(c2, 1, l1, 2);
+
+    std::string l2 = uniqueName("Or");
+    Actor& a5 = sys.addActor(l2, "LogicalOperator");
+    a5.params().set("op", rng_.next() % 3 == 0 ? "XOR" : "OR");
+    a5.params().setInt("inputs", 2);
+    sys.connect(l1, 1, l2, 1);
+    sys.connect(c3, 1, l2, 2);
+
+    std::string sw = uniqueName("Sw");
+    Actor& a6 = sys.addActor(sw, "Switch");
+    a6.params().set("criteria", "~=0");
+    sys.connect(cur.actor, cur.port, sw, 1);
+    sys.connect(l2, 1, sw, 2);
+    sys.connect(raw2.actor, raw2.port, sw, 3);
+
+    cur = Wire{sw, 1};
+    added += 6;
+  }
+  cur = compChain(sys, cur, aux, inner - added - 1);
+  Actor& out = sys.addActor("Out1", "Outport");
+  out.params().setInt("port", 1);
+  sys.connect(cur.actor, cur.port, "Out1", 1);
+  pushPool(Wire{sub.name(), 1});
+  return inner + 1 + extras;
+}
+
+int ModelBuilder::addStateSubsystem(int innerActors) {
+  int inner = std::max(innerActors, kMinState);
+  std::vector<Wire> ins;
+  int extras = 0;
+  Actor& sub = makeSubsystem("Filt", {pool()}, false, 0.0, &ins, &extras);
+  System& sys = *sub.subsystem();
+
+  // Stable first-order low-pass: y = 0.5 u + 0.45 y[n-1].
+  Actor& g1 = sys.addActor("Gu", "Gain");
+  g1.params().setDouble("gain", 0.5);
+  sys.connect(ins[0].actor, ins[0].port, "Gu", 1);
+  Actor& mix = sys.addActor("Mix", "Sum");
+  mix.params().set("ops", "++");
+  sys.connect("Gu", 1, "Mix", 1);
+  Actor& ud = sys.addActor("Prev", "UnitDelay");
+  (void)ud;
+  sys.connect("Mix", 1, "Prev", 1);
+  Actor& g2 = sys.addActor("Gy", "Gain");
+  g2.params().setDouble("gain", 0.45);
+  sys.connect("Prev", 1, "Gy", 1);
+  sys.connect("Gy", 1, "Mix", 2);
+  int added = 1 + 4;  // inport + the loop
+  Wire cur{"Mix", 1};
+
+  // Additional stateful stages while budget allows.
+  struct Stage {
+    const char* type;
+    int cost;
+  };
+  const Stage stages[] = {
+      {"RateLimiter", 1}, {"ZeroOrderHold", 1}, {"Delay", 1},
+      {"DiscreteFilter", 1}, {"DiscreteDerivative", 1}, {"Memory", 1},
+  };
+  size_t next = 0;
+  while (inner - added - 1 >= 1 && next < 12) {
+    const Stage& st = stages[next % 6];
+    ++next;
+    if (inner - added - 1 < st.cost) break;
+    std::string name = uniqueName(st.type);
+    Actor& a = sys.addActor(name, st.type);
+    if (std::string(st.type) == "RateLimiter") {
+      a.params().setDouble("rising", 0.2);
+      a.params().setDouble("falling", -0.2);
+    } else if (std::string(st.type) == "ZeroOrderHold") {
+      a.params().setInt("sample", 4);
+    } else if (std::string(st.type) == "Delay") {
+      a.params().setInt("length", 3);
+    } else if (std::string(st.type) == "DiscreteFilter") {
+      a.params().set("num", "0.3,0.2");
+      a.params().set("den", "1,-0.5");
+    }
+    sys.connect(cur.actor, cur.port, name, 1);
+    cur = Wire{name, 1};
+    added += st.cost;
+  }
+  cur = compChain(sys, cur, ins[0], inner - added - 1);
+  Actor& out = sys.addActor("Out1", "Outport");
+  out.params().setInt("port", 1);
+  sys.connect(cur.actor, cur.port, "Out1", 1);
+  pushPool(Wire{sub.name(), 1});
+  return inner + 1 + extras;
+}
+
+int ModelBuilder::addLookupSubsystem(int innerActors) {
+  int inner = std::max(innerActors, kMinLookup);
+  std::vector<Wire> ins;
+  int extras = 0;
+  Actor& sub = makeSubsystem("Map", {pool()}, false, 0.0, &ins, &extras);
+  System& sys = *sub.subsystem();
+
+  // Bound the lookup input so the healthy models never clip the table
+  // (a clipped lookup legitimately raises the out-of-bounds diagnostic).
+  Actor& bound = sys.addActor("Bound", "Trigonometry");
+  bound.params().set("op", "tanh");
+  sys.connect(ins[0].actor, ins[0].port, "Bound", 1);
+  Actor& lut = sys.addActor("Lut", "Lookup1D");
+  lut.params().set("x", "-2,-1,0,1,2");
+  lut.params().set("y", "0.1,0.4,0.5,0.8,1.0");
+  sys.connect("Bound", 1, "Lut", 1);
+  int added = 3;
+  Wire cur{"Lut", 1};
+
+  const char* extrasList[] = {"Saturation", "DeadZone", "WrapToZero", "Relay",
+                              "Sign"};
+  size_t next = 0;
+  while (inner - added - 1 >= 1 && next < 5) {
+    std::string type = extrasList[next++];
+    std::string name = uniqueName(type);
+    Actor& a = sys.addActor(name, type);
+    if (type == "Saturation") {
+      a.params().setDouble("min", -0.8);
+      a.params().setDouble("max", 0.8);
+    } else if (type == "DeadZone") {
+      a.params().setDouble("start", -0.1);
+      a.params().setDouble("end", 0.1);
+    } else if (type == "WrapToZero") {
+      a.params().setDouble("threshold", 0.9);
+    } else if (type == "Relay") {
+      a.params().setDouble("onPoint", 0.6);
+      a.params().setDouble("offPoint", 0.2);
+    }
+    sys.connect(cur.actor, cur.port, name, 1);
+    cur = Wire{name, 1};
+    added += 1;
+  }
+  cur = compChain(sys, cur, ins[0], inner - added - 1);
+  Actor& out = sys.addActor("Out1", "Outport");
+  out.params().setInt("port", 1);
+  sys.connect(cur.actor, cur.port, "Out1", 1);
+  pushPool(Wire{sub.name(), 1});
+  return inner + 1 + extras;
+}
+
+int ModelBuilder::addEnabledCompSubsystem(int innerActors, double threshold) {
+  int inner = std::max(innerActors, kMinComp);
+  std::vector<Wire> ins;
+  int extras = 0;
+  Actor& sub = makeSubsystem("Gated", {pool(), pool()}, true, threshold,
+                             &ins, &extras);
+  System& sys = *sub.subsystem();
+  Wire cur = compChain(sys, ins[0], ins[1], inner - 3);
+  Actor& out = sys.addActor("Out1", "Outport");
+  out.params().setInt("port", 1);
+  sys.connect(cur.actor, cur.port, "Out1", 1);
+  // Gated outputs hold their last value while disabled; they are usable
+  // wires but we do not return them to the pool to keep downstream
+  // consumers always-fresh.
+  return inner + 1 + extras;
+}
+
+int ModelBuilder::addMiniSubsystem() {
+  std::vector<Wire> ins;
+  int extras = 0;
+  Actor& sub = makeSubsystem("Mini", {pool()}, false, 0.0, &ins, &extras);
+  System& sys = *sub.subsystem();
+  Actor& g = sys.addActor("G", "Gain");
+  g.params().setDouble("gain", 0.8);
+  sys.connect(ins[0].actor, ins[0].port, "G", 1);
+  Actor& out = sys.addActor("Out1", "Outport");
+  out.params().setInt("port", 1);
+  sys.connect("G", 1, "Out1", 1);
+  pushPool(Wire{sub.name(), 1});
+  return 4;
+}
+
+void ModelBuilder::addRootFiller(int n) {
+  if (n <= 0) return;
+  Wire cur = pool();
+  for (int k = 0; k < n - 1; ++k) {
+    std::string name = uniqueName(k % 2 == 0 ? "FGain" : "FBias");
+    Actor& a = root().addActor(name, k % 2 == 0 ? "Gain" : "Bias");
+    if (k % 2 == 0) {
+      a.params().setDouble("gain", 0.7);
+    } else {
+      a.params().setDouble("bias", 0.1);
+    }
+    root().connect(cur.actor, cur.port, name, 1);
+    cur = Wire{name, 1};
+  }
+  std::string term = uniqueName("Term");
+  root().addActor(term, "Terminator");
+  root().connect(cur.actor, cur.port, term, 1);
+}
+
+}  // namespace accmos

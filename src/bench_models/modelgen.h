@@ -1,0 +1,99 @@
+// Deterministic construction helpers for the benchmark models.
+//
+// The paper's ten benchmark models are proprietary industrial designs; per
+// the substitution rule we rebuild them programmatically with the same
+// actor/subsystem counts (Table 1) and a functionality-flavoured mix of
+// computational, control, stateful and lookup subsystems — the structural
+// property the paper's analysis ties the acceleration ratios to ("models
+// containing more computational actors achieve higher ratios").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/arith.h"
+#include "ir/model.h"
+
+namespace accmos {
+
+struct Wire {
+  std::string actor;
+  int port = 1;
+};
+
+class ModelBuilder {
+ public:
+  ModelBuilder(const std::string& name, uint64_t seed);
+
+  Model& model() { return *model_; }
+  std::unique_ptr<Model> take() { return std::move(model_); }
+  System& root() { return model_->root(); }
+  SplitMix64& rng() { return rng_; }
+
+  // Root I/O. Inports/outports are numbered in creation order.
+  Wire addInport(DataType t = DataType::F64);
+  void addOutport(Wire w);
+
+  // Round-robin pool of f64 wires available for consumption.
+  Wire pool();
+  void pushPool(Wire w);
+
+  // Rotating raw f64 root inport (guaranteed full-range uniform stimulus —
+  // the logic patterns compare these against rare thresholds).
+  Wire rawInport();
+
+  // Subsystem patterns. innerActors counts the actors inside the subsystem
+  // (inport/outport proxies included); the subsystem actor itself adds one
+  // more. Returns total actors added (root helpers included).
+  int addCompSubsystem(int innerActors);
+  int addLogicSubsystem(int innerActors);
+  int addStateSubsystem(int innerActors);
+  int addLookupSubsystem(int innerActors);
+  // Enabled subsystem gated by `pool() > threshold` (adds one root
+  // CompareToConstant); rare thresholds drive the Table 3 coverage-vs-time
+  // dynamics.
+  int addEnabledCompSubsystem(int innerActors, double threshold);
+
+  // Smallest possible subsystem (Inport -> Gain -> Outport): used when the
+  // remaining actor budget per subsystem is tight.
+  int addMiniSubsystem();
+
+  // Exactly n root-level actors: a Gain/Bias chain ending in a Terminator.
+  void addRootFiller(int n);
+
+  std::string uniqueName(const std::string& base);
+
+  int actorCount() const { return model_->countActors(); }
+  int subsystemCount() const { return model_->countSubsystems(); }
+
+  // Minimum innerActors for each pattern.
+  static constexpr int kMinComp = 4;
+  static constexpr int kMinMini = 3;
+  static constexpr int kMinLogic = 10;
+  static constexpr int kMinState = 6;
+  static constexpr int kMinLookup = 4;
+
+ private:
+  // Creates the subsystem actor + nested system with one inner Inport per
+  // source wire; returns the inner inport wires.
+  Actor& makeSubsystem(const std::string& base, const std::vector<Wire>& srcs,
+                       bool enabled, double threshold,
+                       std::vector<Wire>* innerIns, int* rootExtras);
+
+  // Fills a computational op chain inside `sys` from `cur`, adding exactly
+  // `n` actors; returns the final wire.
+  Wire compChain(System& sys, Wire cur, Wire aux, int n);
+
+  std::unique_ptr<Model> model_;
+  SplitMix64 rng_;
+  std::vector<Wire> pool_;
+  size_t poolNext_ = 0;
+  std::vector<Wire> rawInports_;
+  size_t rawNext_ = 0;
+  int nextInport_ = 1;
+  int nextOutport_ = 1;
+  int nameCounter_ = 0;
+};
+
+}  // namespace accmos

@@ -1,0 +1,55 @@
+#include "bench_models/sample_overflow.h"
+
+namespace accmos {
+
+std::unique_ptr<Model> sampleOverflowModel() {
+  auto model = std::make_unique<Model>("Sample");
+  System& root = model->root();
+
+  Actor& inA = root.addActor("InA", "Inport");
+  inA.params().setInt("port", 1);
+  inA.setDtype(DataType::I32);
+  Actor& inB = root.addActor("InB", "Inport");
+  inB.params().setInt("port", 2);
+  inB.setDtype(DataType::I32);
+
+  // Each input runs through its own accumulation subsystem.
+  for (const char* name : {"AccumA", "AccumB"}) {
+    Actor& sub = root.addActor(name, "Subsystem");
+    System& sys = sub.makeSubsystem();
+    Actor& in = sys.addActor("In1", "Inport");
+    in.params().setInt("port", 1);
+    in.setDtype(DataType::I32);
+    Actor& acc = sys.addActor("Acc", "DiscreteIntegrator");
+    acc.setDtype(DataType::I32);
+    acc.params().setDouble("gain", 1.0);
+    sys.connect("In1", 1, "Acc", 1);
+    Actor& out = sys.addActor("Out1", "Outport");
+    out.params().setInt("port", 1);
+    sys.connect("Acc", 1, "Out1", 1);
+  }
+  root.connect("InA", 1, "AccumA", 1);
+  root.connect("InB", 1, "AccumB", 1);
+
+  // The combining Sum actor — the paper's highlighted overflow site.
+  Actor& sum = root.addActor("Sum", "Sum");
+  sum.params().set("ops", "++");
+  sum.setDtype(DataType::I32);
+  root.connect("AccumA", 1, "Sum", 1);
+  root.connect("AccumB", 1, "Sum", 2);
+
+  Actor& out = root.addActor("Out1", "Outport");
+  out.params().setInt("port", 1);
+  root.connect("Sum", 1, "Out1", 1);
+  return model;
+}
+
+TestCaseSpec sampleOverflowStimulus() {
+  TestCaseSpec spec;
+  spec.seed = 7;
+  spec.ports.push_back(PortStimulus{0.0, 1000.0, {}});
+  spec.ports.push_back(PortStimulus{0.0, 1000.0, {}});
+  return spec;
+}
+
+}  // namespace accmos

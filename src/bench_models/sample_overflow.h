@@ -1,0 +1,25 @@
+// The motivating model of the paper's Figure 1: "essentially conducts an
+// accumulation operation on the two inputs, subsequently combining the
+// results to produce an output. This process leads to an integer overflow
+// error occurring at the Sum actor" — the long-horizon cumulative error
+// class AccMoS is built to find quickly.
+#pragma once
+
+#include <memory>
+
+#include "ir/model.h"
+#include "sim/testcase.h"
+
+namespace accmos {
+
+// Two int32 inputs are accumulated (DiscreteIntegrator) inside an
+// Accumulate subsystem each, then combined by the Sum actor that overflows.
+// `inputScale` controls how fast the accumulators grow: with the default
+// stimulus (uniform [0, inputScale)) the first wrap occurs after roughly
+// 2^31 / inputScale steps.
+std::unique_ptr<Model> sampleOverflowModel();
+
+// Matching stimulus: both inputs uniform in [0, 1000).
+TestCaseSpec sampleOverflowStimulus();
+
+}  // namespace accmos

@@ -1,0 +1,329 @@
+#include "bench_models/suite.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "bench_models/modelgen.h"
+
+namespace accmos {
+namespace {
+
+// Builds the CSEV charging signature at the root: the `quantity` data-store
+// accumulator and the mode-dependent charging-power computation the paper's
+// case study injects errors into.
+void csevSignature(ModelBuilder& b, bool injectErrors) {
+  System& root = b.root();
+
+  // Mode and charge-current inports are integer-typed so the healthy model
+  // stays conversion-free (a float->int conversion would legitimately fire
+  // the downcast diagnostic every step).
+  Wire mode = b.addInport(DataType::I32);    // charging mode 1..3
+  Wire charge = b.addInport(DataType::I32);  // charged energy per step
+
+  Actor& dsm = root.addActor("QuantityStore", "DataStoreMemory");
+  dsm.params().set("store", "quantity");
+  dsm.setDtype(DataType::I32);
+
+  Actor& rd = root.addActor("QuantityRead", "DataStoreRead");
+  rd.params().set("store", "quantity");
+  rd.setDtype(DataType::I32);
+
+  Wire chargeIn = charge;
+  if (injectErrors) {
+    // Error 1: a mis-scaled charge makes `quantity` wrap during ongoing
+    // simulation (continuous charging), paper §4.
+    Actor& g = root.addActor("ChargeScale", "Gain");
+    g.params().setDouble("gain", 1000.0);
+    g.setDtype(DataType::I32);
+    root.connect(charge.actor, charge.port, "ChargeScale", 1);
+    chargeIn = Wire{"ChargeScale", 1};
+  }
+  Actor& add = root.addActor("QuantityAdd", "Sum");
+  add.params().set("ops", "++");
+  add.setDtype(DataType::I32);
+  root.connect("QuantityRead", 1, "QuantityAdd", 1);
+  root.connect(chargeIn.actor, chargeIn.port, "QuantityAdd", 2);
+
+  Actor& wr = root.addActor("QuantityWrite", "DataStoreWrite");
+  wr.params().set("store", "quantity");
+  root.connect("QuantityAdd", 1, "QuantityWrite", 1);
+
+  // Charging power: rated voltage/current selected by mode.
+  auto addConst = [&](const std::string& name, int v) {
+    Actor& c = root.addActor(name, "Constant");
+    c.params().setInt("value", v);
+    c.setDtype(DataType::I32);
+  };
+  addConst("V1", 220);
+  addConst("V2", 380);
+  addConst("V3", 800);
+  addConst("I1", 16);
+  addConst("I2", 32);
+  addConst("I3", 250);
+
+  Actor& vsel = root.addActor("Voltage", "MultiportSwitch");
+  vsel.params().setInt("cases", 3);
+  vsel.setDtype(DataType::I32);
+  root.connect(mode.actor, mode.port, "Voltage", 1);
+  root.connect("V1", 1, "Voltage", 2);
+  root.connect("V2", 1, "Voltage", 3);
+  root.connect("V3", 1, "Voltage", 4);
+
+  Actor& isel = root.addActor("Current", "MultiportSwitch");
+  isel.params().setInt("cases", 3);
+  isel.setDtype(DataType::I32);
+  root.connect(mode.actor, mode.port, "Current", 1);
+  root.connect("I1", 1, "Current", 2);
+  root.connect("I2", 1, "Current", 3);
+  root.connect("I3", 1, "Current", 4);
+
+  // Error 2: the product's output type is short int while voltage and
+  // current are int (paper §4) — present only in the injected variant.
+  Actor& power = root.addActor("ChargingPower", "Product");
+  power.params().set("ops", "**");
+  power.setDtype(injectErrors ? DataType::I16 : DataType::I32);
+  root.connect("Voltage", 1, "ChargingPower", 1);
+  root.connect("Current", 1, "ChargingPower", 2);
+
+  Actor& conv = root.addActor("PowerF64", "DataTypeConversion");
+  conv.setDtype(DataType::F64);
+  root.connect("ChargingPower", 1, "PowerF64", 1);
+  b.pushPool(Wire{"PowerF64", 1});
+}
+
+// TCP three-way-handshake state machine (LISTEN=1, SYN_RCVD=2,
+// ESTABLISHED=3) driven by thresholded packet-flag inputs.
+void tcpSignature(ModelBuilder& b) {
+  System& root = b.root();
+  Wire syn = b.pool();
+  Wire ack = b.pool();
+  Wire fin = b.pool();
+
+  auto addCmp = [&](const std::string& name, Wire src, double thr) {
+    Actor& c = root.addActor(name, "CompareToConstant");
+    c.params().set("op", ">");
+    c.params().setDouble("value", thr);
+    root.connect(src.actor, src.port, name, 1);
+  };
+  addCmp("FlagSyn", syn, 0.7);
+  addCmp("FlagAck", ack, 0.5);
+  addCmp("FlagFin", fin, 0.97);
+
+  Actor& st = root.addActor("ConnState", "UnitDelay");
+  st.setDtype(DataType::U8);
+  st.params().setDouble("initial", 1.0);
+
+  auto addConst = [&](const std::string& name, int v) {
+    Actor& c = root.addActor(name, "Constant");
+    c.params().setInt("value", v);
+    c.setDtype(DataType::U8);
+  };
+  addConst("StListen", 1);
+  addConst("StSyn", 2);
+  addConst("StEst", 3);
+
+  auto addSwitch = [&](const std::string& name, const std::string& onTrue,
+                       const std::string& flag, const std::string& onFalse) {
+    Actor& s = root.addActor(name, "Switch");
+    s.params().set("criteria", "~=0");
+    s.setDtype(DataType::U8);
+    root.connect(onTrue, 1, name, 1);
+    root.connect(flag, 1, name, 2);
+    root.connect(onFalse, 1, name, 3);
+  };
+  // From LISTEN: SYN received -> SYN_RCVD.
+  addSwitch("NextFromListen", "StSyn", "FlagSyn", "StListen");
+  // From SYN_RCVD: ACK received -> ESTABLISHED.
+  addSwitch("NextFromSyn", "StEst", "FlagAck", "StSyn");
+  // From ESTABLISHED: FIN tears the connection down.
+  addSwitch("NextFromEst", "StListen", "FlagFin", "StEst");
+
+  Actor& next = root.addActor("NextState", "MultiportSwitch");
+  next.params().setInt("cases", 3);
+  next.setDtype(DataType::U8);
+  root.connect("ConnState", 1, "NextState", 1);
+  root.connect("NextFromListen", 1, "NextState", 2);
+  root.connect("NextFromSyn", 1, "NextState", 3);
+  root.connect("NextFromEst", 1, "NextState", 4);
+  root.connect("NextState", 1, "ConnState", 1);
+
+  Actor& est = root.addActor("Established", "CompareToConstant");
+  est.params().set("op", "==");
+  est.params().setDouble("value", 3.0);
+  root.connect("ConnState", 1, "Established", 1);
+
+  Actor& conv = root.addActor("EstF64", "DataTypeConversion");
+  conv.setDtype(DataType::F64);
+  root.connect("Established", 1, "EstF64", 1);
+  b.pushPool(Wire{"EstF64", 1});
+}
+
+// Adds a periodic root source feeding the pool (LED duty cycles, solar
+// irradiation, ...).
+void pulseSource(ModelBuilder& b) {
+  Actor& p = b.root().addActor("Pulse", "PulseGenerator");
+  p.params().setInt("period", 20);
+  p.params().setDouble("duty", 0.3);
+  b.pushPool(Wire{"Pulse", 1});
+}
+
+void sineSource(ModelBuilder& b) {
+  Actor& s = b.root().addActor("Irradiance", "SineWave");
+  s.params().setDouble("amplitude", 0.5);
+  s.params().setDouble("freq", 0.0001);
+  s.params().setDouble("bias", 0.5);
+  b.pushPool(Wire{"Irradiance", 1});
+}
+
+using SignatureFn = std::function<void(ModelBuilder&)>;
+
+std::unique_ptr<Model> buildGeneric(const BenchModelInfo& info,
+                                    const SignatureFn& signature) {
+  ModelBuilder b(info.name, info.seed);
+  for (int k = 0; k < info.inports; ++k) b.addInport(DataType::F64);
+  if (signature) signature(b);
+
+  // One signal monitor per model (paper Fig. 3 path).
+  {
+    Wire w = b.pool();
+    b.root().addActor("Monitor", "Scope");
+    b.root().connect(w.actor, w.port, "Monitor", 1);
+  }
+
+  int enabledLeft = info.enabledSubsystems;
+  const double thresholds[] = {0.95,   0.995,    0.999,     0.9995,
+                               0.9999, 0.999995, 0.9999990, 0.9999997};
+  int thrIdx = 0;
+
+  int subsLeft = info.subsystems - b.subsystemCount();
+  double cum[4] = {info.comp, info.comp + info.logic,
+                   info.comp + info.logic + info.state, 1.0};
+  // Guarantee at least two control subsystems per model (every Table 1
+  // system has branching logic) even when the average subsystem is small.
+  int forcedLogic = std::min(2, subsLeft / 3);
+  for (int f = 0; f < forcedLogic; ++f) {
+    int budget = info.actors - b.actorCount() - info.outports;
+    int remaining = subsLeft - f;
+    // Leave ~5 actors per later subsystem so tight models stay in budget.
+    int inner = budget - 5 * (remaining - 1);
+    inner = std::clamp(inner, ModelBuilder::kMinLogic,
+                       ModelBuilder::kMinLogic + 6);
+    b.addLogicSubsystem(inner);
+  }
+  subsLeft -= forcedLogic;
+  for (int i = 0; i < subsLeft; ++i) {
+    int remainingSubs = subsLeft - i;
+    int budget = info.actors - b.actorCount() - info.outports;
+    int inner = budget / remainingSubs - 2;
+    double avg = static_cast<double>(budget) / remainingSubs;
+    double r = (static_cast<double>(i) + 0.5) / subsLeft;
+    // Enabled subsystems first while the budget allows their extra root
+    // compare actor (they drive the Table 3 coverage dynamics).
+    if (enabledLeft > 0 && avg >= 6.0) {
+      --enabledLeft;
+      b.addEnabledCompSubsystem(std::max(inner - 1, ModelBuilder::kMinComp),
+                                thresholds[thrIdx++ % 8]);
+    } else if (r < cum[0] && inner >= ModelBuilder::kMinComp) {
+      b.addCompSubsystem(inner);
+    } else if (r < cum[1] && inner >= ModelBuilder::kMinLogic) {
+      b.addLogicSubsystem(inner);
+    } else if (r < cum[2] && inner >= ModelBuilder::kMinState) {
+      b.addStateSubsystem(inner);
+    } else if (inner >= ModelBuilder::kMinLookup) {
+      b.addLookupSubsystem(inner);
+    } else {
+      b.addMiniSubsystem();
+    }
+  }
+
+  for (int k = 0; k < info.outports; ++k) b.addOutport(b.pool());
+
+  int deficit = info.actors - b.actorCount();
+  if (deficit < 0) {
+    throw ModelError("model generator overshot actor budget for " +
+                     info.name + " by " + std::to_string(-deficit));
+  }
+  b.addRootFiller(deficit);
+  if (b.actorCount() != info.actors ||
+      b.subsystemCount() != info.subsystems) {
+    throw ModelError("model generator missed Table 1 counts for " +
+                     info.name);
+  }
+  return b.take();
+}
+
+const BenchModelInfo* findInfo(const std::string& name) {
+  for (const auto& info : benchmarkSuite()) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Model> buildCsev(bool injectErrors) {
+  const BenchModelInfo& info = *findInfo("CSEV");
+  return buildGeneric(info, [injectErrors](ModelBuilder& b) {
+    csevSignature(b, injectErrors);
+  });
+}
+
+}  // namespace
+
+const std::vector<BenchModelInfo>& benchmarkSuite() {
+  static const std::vector<BenchModelInfo> kSuite = {
+      // name, functionality, actors, subsystems, comp, logic, state, lookup,
+      // enabled, inports, outports, seed
+      {"CPUT", "AutoSAR CPU task dispatch system", 275, 27, 0.25, 0.45, 0.20,
+       0.10, 3, 4, 2, 11},
+      {"CSEV", "Charging system of electric vehicle", 152, 17, 0.40, 0.30,
+       0.20, 0.10, 2, 4, 2, 12},
+      {"FMTM", "Factory Multi-point Temperature Monitor", 276, 42, 0.30, 0.35,
+       0.15, 0.20, 8, 6, 2, 13},
+      {"LANS", "LAN Switch controller", 570, 39, 0.80, 0.10, 0.05, 0.05, 2, 5,
+       2, 14},
+      {"LEDLC", "LED light controller", 170, 31, 0.70, 0.15, 0.10, 0.05, 3, 4,
+       2, 15},
+      {"RAC", "Robotic arm controller", 667, 57, 0.45, 0.20, 0.25, 0.10, 4, 6,
+       3, 16},
+      {"SPV", "Solar PV panel output control", 131, 16, 0.75, 0.10, 0.05,
+       0.10, 1, 3, 2, 17},
+      {"TCP", "TCP three-way handshake protocol", 330, 42, 0.60, 0.30, 0.05,
+       0.05, 3, 5, 2, 18},
+      {"TWC", "Train wheel speed controller", 214, 13, 0.35, 0.20, 0.30, 0.15,
+       2, 4, 2, 19},
+      {"UTPC", "Underwater thruster power control", 214, 21, 0.40, 0.15, 0.15,
+       0.30, 2, 4, 2, 20},
+  };
+  return kSuite;
+}
+
+std::unique_ptr<Model> buildBenchmarkModel(const std::string& name) {
+  const BenchModelInfo* info = findInfo(name);
+  if (info == nullptr) {
+    throw ModelError("unknown benchmark model '" + name + "'");
+  }
+  if (name == "CSEV") return buildCsev(false);
+  if (name == "TCP") return buildGeneric(*info, tcpSignature);
+  if (name == "LEDLC") return buildGeneric(*info, pulseSource);
+  if (name == "SPV") return buildGeneric(*info, sineSource);
+  return buildGeneric(*info, nullptr);
+}
+
+std::unique_ptr<Model> buildCsevWithInjectedErrors() { return buildCsev(true); }
+
+TestCaseSpec benchStimulus(const std::string& name) {
+  TestCaseSpec spec;
+  spec.seed = 0xACC0 + std::hash<std::string>{}(name) % 1000;
+  spec.defaultPort.min = 0.0;
+  spec.defaultPort.max = 1.0;
+  if (name == "CSEV") {
+    const BenchModelInfo* info = findInfo(name);
+    // Ports: f64 inports first, then mode (1..3) and per-step charge.
+    spec.ports.assign(static_cast<size_t>(info->inports), PortStimulus{});
+    spec.ports.push_back(PortStimulus{0.5, 3.49, {}});   // mode 1..3
+    spec.ports.push_back(PortStimulus{0.0, 50.0, {}});    // charge
+  }
+  return spec;
+}
+
+}  // namespace accmos

@@ -1,0 +1,47 @@
+// The ten benchmark models of the paper's Table 1, rebuilt synthetically
+// with matching actor/subsystem counts and functionality-flavoured
+// structure (see modelgen.h for the substitution rationale).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/model.h"
+#include "sim/testcase.h"
+
+namespace accmos {
+
+struct BenchModelInfo {
+  std::string name;
+  std::string functionality;  // Table 1 description
+  int actors;                 // Table 1 #Actor
+  int subsystems;             // Table 1 #SubSystem
+  // Structure mix used by the generic builder (fractions sum to 1).
+  double comp = 0.5;
+  double logic = 0.25;
+  double state = 0.15;
+  double lookup = 0.10;
+  int enabledSubsystems = 2;
+  int inports = 4;
+  int outports = 2;
+  uint64_t seed = 1;
+};
+
+// The Table 1 inventory.
+const std::vector<BenchModelInfo>& benchmarkSuite();
+
+// Builds one benchmark model by name (CPUT, CSEV, FMTM, LANS, LEDLC, RAC,
+// SPV, TCP, TWC, UTPC). Throws ModelError for unknown names.
+std::unique_ptr<Model> buildBenchmarkModel(const std::string& name);
+
+// The CSEV model with the two errors of the paper's case study injected:
+// (1) the `quantity` accumulator overflows during continued charging, and
+// (2) the charging-power product narrows int32 voltage*current into int16.
+std::unique_ptr<Model> buildCsevWithInjectedErrors();
+
+// The random stimulus used by the benches for a given model (matching
+// port ranges, fixed seed).
+TestCaseSpec benchStimulus(const std::string& name);
+
+}  // namespace accmos

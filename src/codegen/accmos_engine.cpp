@@ -1,0 +1,87 @@
+#include "codegen/accmos_engine.h"
+
+#include <chrono>
+
+#include "actors/spec.h"
+#include "codegen/compiler_driver.h"
+#include "codegen/emitter.h"
+#include "codegen/results_parser.h"
+
+namespace accmos {
+
+AccMoSEngine::AccMoSEngine(const FlatModel& fm, const SimOptions& opt,
+                           const TestCaseSpec& tests)
+    : fm_(fm), opt_(opt), tests_(tests) {
+  validateFlatModel(fm_);
+  for (const auto& cd : opt_.customDiagnostics) {
+    if (cd.kind == CustomDiagnostic::Kind::Expression &&
+        cd.cppCondition.empty()) {
+      throw ModelError(
+          "custom diagnostic '" + cd.name +
+          "': Expression diagnostics need a cppCondition for the AccMoS "
+          "engine (callbacks cannot be compiled into generated code)");
+    }
+    if (fm_.findByPath(cd.actorPath) == nullptr) {
+      throw ModelError("custom diagnostic '" + cd.name +
+                       "' references unknown actor path '" + cd.actorPath +
+                       "'");
+    }
+  }
+  if (opt_.coverage) {
+    covPlan_ = CoveragePlan::build(
+        fm_, [](const FlatActor& fa) { return covTraitsFor(fa); });
+  }
+  if (opt_.diagnosis) {
+    diagPlan_ = DiagnosisPlan::build(fm_, [&](const FlatActor& fa) {
+      return diagKindsFor(fm_, fa);
+    });
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  Emitter emitter(fm_, opt_, tests_, opt_.coverage ? &covPlan_ : nullptr,
+                  opt_.diagnosis ? &diagPlan_ : nullptr);
+  source_ = emitter.generate();
+  collectSignals_ = emitter.collectSignals();
+  auto t1 = std::chrono::steady_clock::now();
+  generateSeconds_ = std::chrono::duration<double>(t1 - t0).count();
+
+  driver_ = std::make_unique<CompilerDriver>(opt_.workDir);
+  driver_->setKeep(opt_.keepGeneratedCode || !opt_.workDir.empty());
+  auto compiled = driver_->compile(source_, "model_" + fm_.modelName,
+                                   opt_.optFlag);
+  compileSeconds_ = compiled.seconds;
+  exePath_ = compiled.exePath;
+}
+
+AccMoSEngine::~AccMoSEngine() = default;
+
+SimulationResult AccMoSEngine::run(uint64_t maxStepsOverride,
+                                   double timeBudgetOverride,
+                                   std::optional<uint64_t> seedOverride) {
+  uint64_t steps = maxStepsOverride != 0 ? maxStepsOverride : opt_.maxSteps;
+  double budget =
+      timeBudgetOverride >= 0.0 ? timeBudgetOverride : opt_.timeBudgetSec;
+  uint64_t seed = seedOverride.value_or(tests_.seed);
+  std::string output = driver_->run(
+      exePath_,
+      {std::to_string(steps), std::to_string(budget), std::to_string(seed)});
+  SimulationResult result = parseResults(
+      output, fm_, opt_.coverage ? &covPlan_ : nullptr,
+      opt_.diagnosis ? &diagPlan_ : nullptr, collectSignals_,
+      opt_.customDiagnostics);
+  if (opt_.coverage) {
+    result.coverage = makeReport(covPlan_, result.bitmaps);
+    result.hasCoverage = true;
+  }
+  result.generateSeconds = generateSeconds_;
+  result.compileSeconds = compileSeconds_;
+  return result;
+}
+
+SimulationResult runAccMoS(const FlatModel& fm, const SimOptions& opt,
+                           const TestCaseSpec& tests) {
+  AccMoSEngine engine(fm, opt, tests);
+  return engine.run();
+}
+
+}  // namespace accmos

@@ -1,0 +1,63 @@
+// The AccMoS engine: the full pipeline of the paper — simulation-oriented
+// instrumentation, simulation code synthesis, compilation, execution, and
+// result recovery.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "cov/coverage.h"
+#include "diag/diagnosis.h"
+#include "graph/flat_model.h"
+#include "sim/options.h"
+#include "sim/result.h"
+#include "sim/testcase.h"
+
+namespace accmos {
+
+class AccMoSEngine {
+ public:
+  // Builds the plans and generates + compiles the simulation program once;
+  // run() can then execute it repeatedly (with step/budget overrides) —
+  // mirroring how a generated simulator is reused across test campaigns.
+  AccMoSEngine(const FlatModel& fm, const SimOptions& opt,
+               const TestCaseSpec& tests);
+  ~AccMoSEngine();
+
+  AccMoSEngine(const AccMoSEngine&) = delete;
+  AccMoSEngine& operator=(const AccMoSEngine&) = delete;
+
+  // Executes the compiled simulation. maxSteps/timeBudget default to the
+  // options used at construction; pass nonzero values to override. The
+  // stimulus seed can be overridden per run — the generated program takes
+  // it as an argument, so one compiled simulator serves a whole campaign.
+  SimulationResult run(uint64_t maxStepsOverride = 0,
+                       double timeBudgetOverride = -1.0,
+                       std::optional<uint64_t> seedOverride = std::nullopt);
+
+  const std::string& generatedSource() const { return source_; }
+  double generateSeconds() const { return generateSeconds_; }
+  double compileSeconds() const { return compileSeconds_; }
+  const CoveragePlan* coveragePlan() const {
+    return opt_.coverage ? &covPlan_ : nullptr;
+  }
+
+ private:
+  const FlatModel& fm_;
+  SimOptions opt_;
+  TestCaseSpec tests_;
+  CoveragePlan covPlan_;
+  DiagnosisPlan diagPlan_;
+  std::vector<int> collectSignals_;
+  std::string source_;
+  std::string exePath_;
+  double generateSeconds_ = 0.0;
+  double compileSeconds_ = 0.0;
+  std::unique_ptr<class CompilerDriver> driver_;
+};
+
+// One-shot convenience.
+SimulationResult runAccMoS(const FlatModel& fm, const SimOptions& opt,
+                           const TestCaseSpec& tests);
+
+}  // namespace accmos

@@ -1,0 +1,121 @@
+#include "codegen/compiler_driver.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace accmos {
+namespace fs = std::filesystem;
+
+namespace {
+
+std::atomic<int> g_dirCounter{0};
+
+std::string readFile(const fs::path& p) {
+  std::ifstream in(p);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string shellQuote(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out.push_back(c);
+    }
+  }
+  out += "'";
+  return out;
+}
+
+}  // namespace
+
+CompilerDriver::CompilerDriver(std::string workDir) {
+  if (workDir.empty()) {
+    fs::path base = fs::temp_directory_path() /
+                    ("accmos_" + std::to_string(::getpid()) + "_" +
+                     std::to_string(g_dirCounter.fetch_add(1)));
+    fs::create_directories(base);
+    dir_ = base.string();
+    owned_ = true;
+  } else {
+    fs::create_directories(workDir);
+    dir_ = workDir;
+  }
+}
+
+CompilerDriver::~CompilerDriver() {
+  if (owned_ && !keep_) {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);  // best effort
+  }
+}
+
+std::string CompilerDriver::compilerPath() {
+  const char* cxx = std::getenv("CXX");
+  if (cxx != nullptr && cxx[0] != '\0') return cxx;
+  return "c++";
+}
+
+CompileOutput CompilerDriver::compile(const std::string& source,
+                                      const std::string& name,
+                                      const std::string& optFlag) {
+  CompileOutput out;
+  fs::path src = fs::path(dir_) / (name + ".cpp");
+  fs::path exe = fs::path(dir_) / name;
+  fs::path log = fs::path(dir_) / (name + ".log");
+  {
+    std::ofstream f(src);
+    if (!f) throw CompileError("cannot write " + src.string());
+    f << source;
+  }
+  std::ostringstream cmd;
+  cmd << compilerPath() << " -std=c++17 " << optFlag << " -o "
+      << shellQuote(exe.string()) << " " << shellQuote(src.string()) << " > "
+      << shellQuote(log.string()) << " 2>&1";
+  auto t0 = std::chrono::steady_clock::now();
+  int rc = std::system(cmd.str().c_str());
+  auto t1 = std::chrono::steady_clock::now();
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  if (rc != 0) {
+    throw CompileError("compilation of generated simulation code failed:\n" +
+                       readFile(log));
+  }
+  out.exePath = exe.string();
+  out.sourcePath = src.string();
+  return out;
+}
+
+std::string CompilerDriver::run(const std::string& exePath,
+                                const std::vector<std::string>& args) const {
+  std::ostringstream cmd;
+  cmd << shellQuote(exePath);
+  for (const auto& a : args) cmd << " " << shellQuote(a);
+  FILE* pipe = ::popen(cmd.str().c_str(), "r");
+  if (pipe == nullptr) {
+    throw CompileError("failed to launch generated simulation binary");
+  }
+  std::string output;
+  char buf[4096];
+  size_t n;
+  while ((n = ::fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    output.append(buf, n);
+  }
+  int rc = ::pclose(pipe);
+  if (rc != 0) {
+    throw CompileError("generated simulation binary exited with status " +
+                       std::to_string(rc) + "\n" + output);
+  }
+  return output;
+}
+
+}  // namespace accmos

@@ -1,0 +1,58 @@
+// Compile-and-execute step of the AccMoS pipeline: writes the generated
+// source, invokes the host C++ compiler (the paper uses GCC -O3), and runs
+// the resulting simulation binary capturing its result protocol.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace accmos {
+
+// Thrown when the compiler or the generated binary fails; carries the
+// captured log.
+class CompileError : public std::runtime_error {
+ public:
+  explicit CompileError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct CompileOutput {
+  std::string exePath;
+  std::string sourcePath;
+  double seconds = 0.0;
+};
+
+class CompilerDriver {
+ public:
+  // workDir: where sources/binaries are placed; created if missing. When
+  // empty a fresh directory under the system temp dir is used.
+  explicit CompilerDriver(std::string workDir = "");
+  ~CompilerDriver();
+
+  CompilerDriver(const CompilerDriver&) = delete;
+  CompilerDriver& operator=(const CompilerDriver&) = delete;
+
+  // Writes `source` to <dir>/<name>.cpp and compiles it.
+  CompileOutput compile(const std::string& source, const std::string& name,
+                        const std::string& optFlag);
+
+  // Runs the binary with the given argv, returning captured stdout.
+  // Throws CompileError on non-zero exit.
+  std::string run(const std::string& exePath,
+                  const std::vector<std::string>& args) const;
+
+  const std::string& dir() const { return dir_; }
+  // Keep the working directory on destruction (for debugging / the
+  // keepGeneratedCode option).
+  void setKeep(bool keep) { keep_ = keep; }
+
+  // The compiler command used ($CXX, else c++).
+  static std::string compilerPath();
+
+ private:
+  std::string dir_;
+  bool owned_ = false;  // we created it -> we may remove it
+  bool keep_ = false;
+};
+
+}  // namespace accmos

@@ -1,0 +1,475 @@
+#include "codegen/emitter.h"
+
+#include <cctype>
+
+#include "actors/common.h"
+#include "codegen/runtime_preamble.h"
+#include "sim/collect.h"
+
+namespace accmos {
+namespace {
+
+constexpr int kNumDiagKinds = 9;
+
+std::string cpp(DataType t) { return std::string(dataTypeCpp(t)); }
+
+// printf conversion for one element of a signal of type t.
+std::string printfFor(DataType t, const std::string& elem) {
+  if (isFloatType(t)) return "printf(\" %.17g\", (double)" + elem + ");";
+  if (t == DataType::U64) {
+    return "printf(\" %llu\", (unsigned long long)" + elem + ");";
+  }
+  return "printf(\" %lld\", (long long)" + elem + ");";
+}
+
+// Reads one element widened to double (u64 goes through unsigned).
+std::string asDoubleExpr(DataType t, const std::string& elem) {
+  if (t == DataType::U64) return "(double)(uint64_t)" + elem;
+  return "(double)" + elem;
+}
+
+}  // namespace
+
+Emitter::Emitter(const FlatModel& fm, const SimOptions& opt,
+                 const TestCaseSpec& tests, const CoveragePlan* covPlan,
+                 const DiagnosisPlan* diagPlan)
+    : fm_(fm),
+      opt_(opt),
+      tests_(tests),
+      covPlan_(covPlan),
+      diagPlan_(diagPlan) {
+  collectSignals_ = monitoredSignals(fm_, opt_.collectList);
+}
+
+std::string Emitter::sanitize(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0])) != 0) {
+    out.insert(out.begin(), 'm');
+  }
+  return out;
+}
+
+// ---- EmitSink -------------------------------------------------------------
+
+void Emitter::line(const std::string& stmt) { body_.push_back(stmt); }
+
+void Emitter::updateLine(const std::string& stmt) { upd_.push_back(stmt); }
+
+void Emitter::updateLinePre(const std::string& stmt) {
+  updPre_.push_back(stmt);
+}
+
+bool Emitter::diagOn(DiagKind kind) const {
+  return diagPlan_ != nullptr && current_ != nullptr &&
+         diagPlan_->enabled(current_->id, kind);
+}
+
+std::string Emitter::freshVar(const std::string& hint) {
+  return hint + std::to_string(varCounter_++);
+}
+
+std::string Emitter::makeDiagFunction(
+    const std::vector<std::pair<DiagKind, std::string>>& flags) {
+  // One generated diagnostic function per actor (paper Fig. 4/Fig. 5:
+  // "the instrumented code involves the function calls at specific
+  // locations, while the actual implementation is defined elsewhere").
+  std::string fname =
+      "diagnose_" + sanitize(current_->path) + "_" +
+      std::to_string(current_->id) + "_" + std::to_string(varCounter_++);
+  std::ostringstream def;
+  def << "static inline void " << fname << "(uint64_t step";
+  for (size_t k = 0; k < flags.size(); ++k) def << ", int f" << k;
+  def << ") {\n";
+  for (size_t k = 0; k < flags.size(); ++k) {
+    def << "  if (f" << k << ") accmos_diag(" << current_->id << ", "
+        << static_cast<int>(flags[k].first) << ", step);  // "
+        << diagKindName(flags[k].first) << "\n";
+  }
+  def << "}\n";
+  diagFuncs_.push_back(def.str());
+  std::string call = fname + "(step";
+  for (const auto& [kind, expr] : flags) call += ", " + expr;
+  call += ");";
+  return call;
+}
+
+void Emitter::diagCall(
+    const std::vector<std::pair<DiagKind, std::string>>& flags) {
+  if (flags.empty() || diagPlan_ == nullptr) return;
+  body_.push_back(makeDiagFunction(flags));
+}
+
+void Emitter::diagCallInUpdate(
+    const std::vector<std::pair<DiagKind, std::string>>& flags) {
+  if (flags.empty() || diagPlan_ == nullptr) return;
+  upd_.push_back(makeDiagFunction(flags));
+}
+
+std::string Emitter::covDecisionStmt(const std::string& outcomeExpr) {
+  if (covPlan_ == nullptr) return ";";
+  const ActorCovInfo& info = covPlan_->info(current_->id);
+  if (info.decisionBase < 0) return ";";
+  return "accmos_cov_dec[" + std::to_string(info.decisionBase) + " + (" +
+         outcomeExpr + ")] = 1;";
+}
+
+std::string Emitter::covConditionStmt(int condIdx,
+                                      const std::string& boolExpr) {
+  if (covPlan_ == nullptr) return ";";
+  const ActorCovInfo& info = covPlan_->info(current_->id);
+  if (info.conditionBase < 0) return ";";
+  return "accmos_cov_cond[" +
+         std::to_string(info.conditionBase + 2 * condIdx) + " + ((" +
+         boolExpr + ") ? 0 : 1)] = 1;";
+}
+
+std::string Emitter::covMcdcStmt(int condIdx, const std::string& valExpr) {
+  if (covPlan_ == nullptr) return "";
+  const ActorCovInfo& info = covPlan_->info(current_->id);
+  if (info.mcdcBase < 0) return "";
+  return "accmos_cov_mcdc[" + std::to_string(info.mcdcBase + 2 * condIdx) +
+         " + ((" + valExpr + ") ? 0 : 1)] = 1;";
+}
+
+// ---- sections --------------------------------------------------------------
+
+void Emitter::emitDeclarations(std::ostringstream& os) {
+  os << "// ---- model data ----------------------------------------------\n";
+  for (const auto& sig : fm_.signals) {
+    os << "static " << cpp(sig.type) << " s" << (&sig - fm_.signals.data())
+       << "[" << sig.width << "];  // " << sig.name << "\n";
+  }
+  const Registry& reg = Registry::instance();
+  for (const auto& fa : fm_.actors) {
+    auto st = reg.get(fa).state(fm_, fa);
+    if (st) {
+      os << "static " << cpp(st->type) << " st" << fa.id << "[" << st->width
+         << "];  // state of " << fa.path << "\n";
+    }
+  }
+  for (const auto& ds : fm_.dataStores) {
+    os << "static " << cpp(ds.type) << " ds_" << sanitize(ds.name) << "["
+       << ds.width << "];  // data store '" << ds.name << "'\n";
+  }
+  // Test-case streams.
+  for (size_t k = 0; k < fm_.rootInports.size(); ++k) {
+    const PortStimulus& stim = tests_.port(static_cast<int>(k));
+    if (stim.sequence.empty()) {
+      os << "static uint64_t tc_state_" << k << ";\n";
+    } else {
+      os << "static const double tc_seq_" << k << "["
+         << stim.sequence.size() << "] = {";
+      for (size_t i = 0; i < stim.sequence.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << fmtD(stim.sequence[i]);
+      }
+      os << "};\n";
+    }
+  }
+  // Coverage bitmaps.
+  if (covPlan_ != nullptr) {
+    os << "static uint8_t accmos_cov_actor["
+       << std::max(1, covPlan_->totalSlots(CovMetric::Actor)) << "];\n";
+    os << "static uint8_t accmos_cov_cond["
+       << std::max(1, covPlan_->totalSlots(CovMetric::Condition)) << "];\n";
+    os << "static uint8_t accmos_cov_dec["
+       << std::max(1, covPlan_->totalSlots(CovMetric::Decision)) << "];\n";
+    os << "static uint8_t accmos_cov_mcdc["
+       << std::max(1, covPlan_->totalSlots(CovMetric::MCDC)) << "];\n";
+  }
+  // Signal monitor buffers (paper Fig. 3 outputCollect repository).
+  for (size_t k = 0; k < collectSignals_.size(); ++k) {
+    const SignalInfo& sig =
+        fm_.signal(collectSignals_[k]);
+    os << "static " << cpp(sig.type) << " col" << k << "[" << sig.width
+       << "]; static uint64_t colcnt" << k << ";\n";
+  }
+  // Custom diagnosis slots.
+  for (size_t k = 0; k < opt_.customDiagnostics.size(); ++k) {
+    os << "static double cd_prev_" << k << "; static int cd_has_" << k
+       << "; static uint64_t cd_first_" << k << "; static uint64_t cd_count_"
+       << k << ";\n";
+  }
+  os << "\n";
+}
+
+void Emitter::emitDiagRuntime(std::ostringstream& os) {
+  os << "static uint64_t accmos_diag_first[" << fm_.actors.size() << " * "
+     << kNumDiagKinds << "];\n";
+  os << "static uint64_t accmos_diag_count[" << fm_.actors.size() << " * "
+     << kNumDiagKinds << "];\n";
+  os << "static inline void accmos_diag(int actor, int kind, uint64_t step) "
+        "{\n"
+     << "  int idx = actor * " << kNumDiagKinds << " + kind;\n"
+     << "  if (accmos_diag_count[idx] == 0) accmos_diag_first[idx] = step;\n"
+     << "  accmos_diag_count[idx] += 1;\n"
+     << "  accmos_diag_fired = 1;\n"
+     << "}\n\n";
+}
+
+void Emitter::emitFillInputs(std::ostringstream& os) {
+  os << "static void accmos_fill_inputs(uint64_t step) {\n";
+  if (fm_.rootInports.empty()) os << "  (void)step;\n";
+  for (size_t k = 0; k < fm_.rootInports.size(); ++k) {
+    const FlatActor& fa = fm_.actor(fm_.rootInports[k]);
+    const SignalInfo& sig = fm_.signal(fa.outputs[0]);
+    const PortStimulus& stim = tests_.port(static_cast<int>(k));
+    os << "  // Inport " << fa.path << "\n";
+    os << "  for (int i = 0; i < " << sig.width << "; ++i) {\n";
+    if (stim.sequence.empty()) {
+      os << "    double v = " << fmtD(stim.min) << " + accmos_sm64_unit(&tc_state_"
+         << k << ") * (" << fmtD(stim.max) << " - " << fmtD(stim.min)
+         << ");\n";
+    } else {
+      os << "    double v = tc_seq_" << k << "[step % "
+         << stim.sequence.size() << "ULL];\n";
+    }
+    os << "    " << storeFromDouble(sig.type,
+                                    "s" + std::to_string(fa.outputs[0]) +
+                                        "[i]",
+                                    "v")
+       << "\n";
+    os << "  }\n";
+  }
+  os << "}\n\n";
+}
+
+std::string Emitter::storeFromDouble(DataType t, const std::string& dst,
+                                     const std::string& expr) const {
+  if (t == DataType::F64) return dst + " = (" + expr + ");";
+  if (t == DataType::F32) return dst + " = (float)(" + expr + ");";
+  return dst + " = (" + cpp(t) + ")accmos_store_" +
+         std::string(dataTypeName(t)) + "((double)(" + expr + ")).value;";
+}
+
+void Emitter::emitModelInit(std::ostringstream& os) {
+  const Registry& reg = Registry::instance();
+  os << "static void Model_Init(uint64_t accmos_seed) {\n";
+  os << "  (void)accmos_seed;\n";
+  for (const auto& fa : fm_.actors) {
+    auto st = reg.get(fa).state(fm_, fa);
+    if (!st) continue;
+    for (int i = 0; i < st->width; ++i) {
+      double init =
+          st->initial.empty()
+              ? 0.0
+              : st->initial[std::min(st->initial.size() - 1,
+                                     static_cast<size_t>(i))];
+      os << "  "
+         << storeFromDouble(st->type,
+                            "st" + std::to_string(fa.id) + "[" +
+                                std::to_string(i) + "]",
+                            fmtD(init))
+         << "\n";
+    }
+  }
+  for (const auto& ds : fm_.dataStores) {
+    os << "  for (int i = 0; i < " << ds.width << "; ++i) "
+       << storeFromDouble(ds.type, "ds_" + sanitize(ds.name) + "[i]",
+                          fmtD(ds.initial))
+       << "\n";
+  }
+  for (size_t k = 0; k < fm_.rootInports.size(); ++k) {
+    if (tests_.port(static_cast<int>(k)).sequence.empty()) {
+      os << "  tc_state_" << k << " = accmos_portseed(accmos_seed, "
+         << k << ");\n";
+    }
+  }
+  os << "}\n\n";
+}
+
+void Emitter::emitModelExe(std::ostringstream& os) {
+  os << "static void Model_Exe(uint64_t step) {\n";
+  os << "  (void)step;\n";
+  os << evalSection_.str();
+  os << "  // ---- state update phase ----\n";
+  os << updateSection_.str();
+  // Signal monitor (paper Fig. 3).
+  for (size_t k = 0; k < collectSignals_.size(); ++k) {
+    os << "  memcpy(col" << k << ", s" << collectSignals_[k] << ", sizeof(col"
+       << k << ")); colcnt" << k << " += 1;\n";
+  }
+  // Custom signal diagnoses (paper §3.2.B).
+  for (size_t k = 0; k < opt_.customDiagnostics.size(); ++k) {
+    const CustomDiagnostic& cd = opt_.customDiagnostics[k];
+    const FlatActor* fa = fm_.findByPath(cd.actorPath);
+    if (fa == nullptr || fa->outputs.empty()) continue;
+    const SignalInfo& sig = fm_.signal(fa->outputs[0]);
+    os << "  { double cur = "
+       << asDoubleExpr(sig.type, "s" + std::to_string(fa->outputs[0]) + "[0]")
+       << ";\n    double prev = cd_has_" << k << " ? cd_prev_" << k
+       << " : 0.0; (void)prev;\n    int fire = 0;\n";
+    switch (cd.kind) {
+      case CustomDiagnostic::Kind::Range:
+        os << "    fire = (cur < " << fmtD(cd.minValue) << " || cur > "
+           << fmtD(cd.maxValue) << ");\n";
+        break;
+      case CustomDiagnostic::Kind::SuddenChange:
+        os << "    fire = cd_has_" << k << " && fabs(cur - prev) > "
+           << fmtD(cd.maxDelta) << ";\n";
+        break;
+      case CustomDiagnostic::Kind::Expression:
+        if (!cd.cppCondition.empty()) {
+          os << "    fire = (" << cd.cppCondition << ");\n";
+        }
+        break;
+    }
+    os << "    if (fire) { if (cd_count_" << k << " == 0) cd_first_" << k
+       << " = step; cd_count_" << k << " += 1; accmos_diag_fired = 1; }\n"
+       << "    cd_prev_" << k << " = cur; cd_has_" << k << " = 1; }\n";
+  }
+  os << "}\n\n";
+}
+
+void Emitter::emitMain(std::ostringstream& os) {
+  os << "int main(int argc, char* argv[]) {\n"
+     << "  uint64_t maxSteps = " << opt_.maxSteps << "ULL;\n"
+     << "  double budget = " << fmtD(opt_.timeBudgetSec) << ";\n"
+     << "  uint64_t seed = " << tests_.seed << "ULL;\n"
+     << "  if (argc > 1) maxSteps = strtoull(argv[1], 0, 10);\n"
+     << "  if (argc > 2) budget = atof(argv[2]);\n"
+     << "  if (argc > 3) seed = strtoull(argv[3], 0, 10);\n"
+     << "  Model_Init(seed);\n"
+     << "  int stoppedEarly = 0;\n"
+     << "  auto t0 = std::chrono::steady_clock::now();\n"
+     << "  uint64_t step = 0;\n"
+     << "  for (; step < maxSteps; ++step) {\n"
+     << "    accmos_fill_inputs(step);\n"
+     << "    Model_Exe(step);\n"
+     << "    if (accmos_stop) { ++step; stoppedEarly = 1; break; }\n";
+  if (opt_.stopOnDiagnostic) {
+    os << "    if (accmos_diag_fired) { ++step; stoppedEarly = 1; break; }\n";
+  }
+  os << "    if (budget > 0.0 && (step & 1023) == 1023 &&\n"
+     << "        std::chrono::duration<double>(std::chrono::steady_clock::now()"
+        " - t0).count() >= budget) { ++step; break; }\n"
+     << "  }\n"
+     << "  auto t1 = std::chrono::steady_clock::now();\n"
+     << "  unsigned long long ns = (unsigned long long)\n"
+     << "      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - "
+        "t0).count();\n"
+     << "  // ---- result protocol ----\n"
+     << "  printf(\"ACCMOS_RESULT_BEGIN\\n\");\n"
+     << "  printf(\"STEPS %llu\\n\", (unsigned long long)step);\n"
+     << "  printf(\"STOPPED_EARLY %d\\n\", stoppedEarly);\n"
+     << "  printf(\"EXEC_NS %llu\\n\", ns);\n";
+  if (covPlan_ != nullptr) {
+    struct MapInfo {
+      const char* name;
+      const char* arr;
+      int total;
+    };
+    const MapInfo maps[] = {
+        {"actor", "accmos_cov_actor", covPlan_->totalSlots(CovMetric::Actor)},
+        {"condition", "accmos_cov_cond",
+         covPlan_->totalSlots(CovMetric::Condition)},
+        {"decision", "accmos_cov_dec",
+         covPlan_->totalSlots(CovMetric::Decision)},
+        {"mcdc", "accmos_cov_mcdc", covPlan_->totalSlots(CovMetric::MCDC)},
+    };
+    for (const auto& m : maps) {
+      os << "  printf(\"COVMAP " << m.name << " \");\n"
+         << "  for (int i = 0; i < " << m.total << "; ++i) putchar("
+         << m.arr << "[i] ? '1' : '0');\n"
+         << "  putchar('\\n');\n";
+    }
+  }
+  if (diagPlan_ != nullptr) {
+    os << "  for (int a = 0; a < " << fm_.actors.size() << "; ++a)\n"
+       << "    for (int k = 0; k < " << kNumDiagKinds << "; ++k) {\n"
+       << "      uint64_t c = accmos_diag_count[a * " << kNumDiagKinds
+       << " + k];\n"
+       << "      if (c) printf(\"DIAG %d %d %llu %llu\\n\", a, k,\n"
+       << "                    (unsigned long long)accmos_diag_first[a * "
+       << kNumDiagKinds << " + k], (unsigned long long)c);\n"
+       << "    }\n";
+  }
+  for (size_t k = 0; k < opt_.customDiagnostics.size(); ++k) {
+    os << "  if (cd_count_" << k << ") printf(\"CUSTOM " << k
+       << " %llu %llu\\n\", (unsigned long long)cd_first_" << k
+       << ", (unsigned long long)cd_count_" << k << ");\n";
+  }
+  for (size_t k = 0; k < collectSignals_.size(); ++k) {
+    const SignalInfo& sig = fm_.signal(collectSignals_[k]);
+    os << "  printf(\"COLLECT " << k << " %llu " << sig.width
+       << "\", (unsigned long long)colcnt" << k << ");\n"
+       << "  for (int i = 0; i < " << sig.width << "; ++i) "
+       << printfFor(sig.type, "col" + std::to_string(k) + "[i]") << "\n"
+       << "  putchar('\\n');\n";
+  }
+  for (size_t k = 0; k < fm_.rootOutports.size(); ++k) {
+    const FlatActor& fa = fm_.actor(fm_.rootOutports[k]);
+    const SignalInfo& sig = fm_.signal(fa.inputs[0]);
+    os << "  printf(\"OUT " << k << " " << sig.width << "\");\n"
+       << "  for (int i = 0; i < " << sig.width << "; ++i) "
+       << printfFor(sig.type, "s" + std::to_string(fa.inputs[0]) + "[i]")
+       << "\n"
+       << "  putchar('\\n');\n";
+  }
+  os << "  printf(\"ACCMOS_RESULT_END\\n\");\n"
+     << "  return 0;\n"
+     << "}\n";
+}
+
+std::string Emitter::generate() {
+  const Registry& reg = Registry::instance();
+
+  // Pass 1: expand actor templates in execution order (Algorithm 1),
+  // collecting eval/update code and diagnostic functions.
+  for (int id : fm_.schedule) {
+    const FlatActor& fa = fm_.actors[static_cast<size_t>(id)];
+    current_ = &fa;
+    body_.clear();
+    upd_.clear();
+    updPre_.clear();
+
+    EmitContext ctx(fm_, fa, *this);
+    reg.get(fa).emit(ctx);
+
+    // Generic instrumentation appended by the pass: actor coverage
+    // ("actorBitmap[actorID] = 1" in the paper).
+    if (covPlan_ != nullptr && covPlan_->info(id).actorSlot >= 0) {
+      body_.push_back("accmos_cov_actor[" +
+                      std::to_string(covPlan_->info(id).actorSlot) +
+                      "] = 1;");
+    }
+
+    std::string guard;
+    if (fa.enableSignal >= 0) {
+      guard = "if (s" + std::to_string(fa.enableSignal) + "[0] != 0) ";
+    }
+    evalSection_ << "  // -- " << fa.path << " (" << fa.type() << ")\n";
+    if (!body_.empty()) {
+      evalSection_ << "  " << guard << "{\n";
+      for (const auto& l : body_) evalSection_ << "  " << l << "\n";
+      evalSection_ << "  }\n";
+    }
+    if (!upd_.empty() || !updPre_.empty()) {
+      updateSection_ << "  // -- update " << fa.path << "\n";
+      updateSection_ << "  " << guard << "{\n";
+      for (const auto& l : updPre_) updateSection_ << "  " << l << "\n";
+      for (const auto& l : upd_) updateSection_ << "  " << l << "\n";
+      updateSection_ << "  }\n";
+    }
+  }
+  current_ = nullptr;
+
+  // Pass 2: compose the program (paper Fig. 5).
+  std::ostringstream os;
+  os << "// Generated by AccMoS for model '" << fm_.modelName << "'\n";
+  os << runtimePreamble();
+  emitDiagRuntime(os);
+  emitDeclarations(os);
+  for (const auto& fn : diagFuncs_) os << fn << "\n";
+  emitFillInputs(os);
+  emitModelInit(os);
+  emitModelExe(os);
+  emitMain(os);
+  return os.str();
+}
+
+}  // namespace accmos

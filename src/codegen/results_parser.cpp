@@ -1,0 +1,172 @@
+#include "codegen/results_parser.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <tuple>
+
+namespace accmos {
+namespace {
+
+CovMetric metricFromName(const std::string& name) {
+  for (CovMetric m : kAllCovMetrics) {
+    if (covMetricName(m) == name) return m;
+  }
+  throw ResultParseError("unknown coverage metric '" + name + "'");
+}
+
+Value parseValue(std::istringstream& is, DataType type, int width) {
+  Value v(type, width);
+  for (int i = 0; i < width; ++i) {
+    std::string tok;
+    if (!(is >> tok)) {
+      throw ResultParseError("truncated value vector in result protocol");
+    }
+    if (isFloatType(type)) {
+      v.setF(i, std::strtod(tok.c_str(), nullptr));
+    } else if (type == DataType::U64) {
+      v.setI(i, static_cast<int64_t>(
+                    std::strtoull(tok.c_str(), nullptr, 10)));
+    } else {
+      v.setI(i, std::strtoll(tok.c_str(), nullptr, 10));
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+SimulationResult parseResults(const std::string& output, const FlatModel& fm,
+                              const CoveragePlan* covPlan,
+                              const DiagnosisPlan* diagPlan,
+                              const std::vector<int>& collectSignals,
+                              const std::vector<CustomDiagnostic>& custom) {
+  (void)diagPlan;
+  SimulationResult result;
+  std::vector<DiagRecord> rawDiags;
+  if (covPlan != nullptr) {
+    result.bitmaps = CoverageRecorder(*covPlan);
+  }
+  result.finalOutputs.resize(fm.rootOutports.size());
+  result.collected.resize(collectSignals.size());
+  for (size_t k = 0; k < collectSignals.size(); ++k) {
+    const SignalInfo& sig = fm.signal(collectSignals[k]);
+    result.collected[k].path = sig.name;
+    result.collected[k].last = Value(sig.type, sig.width);
+  }
+
+  std::istringstream in(output);
+  std::string line;
+  bool began = false;
+  bool ended = false;
+  while (std::getline(in, line)) {
+    if (line == "ACCMOS_RESULT_BEGIN") {
+      began = true;
+      continue;
+    }
+    if (!began) continue;  // program may print diagnostics text first
+    if (line == "ACCMOS_RESULT_END") {
+      ended = true;
+      break;
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "STEPS") {
+      ls >> result.stepsExecuted;
+    } else if (tag == "STOPPED_EARLY") {
+      int v = 0;
+      ls >> v;
+      result.stoppedEarly = v != 0;
+    } else if (tag == "EXEC_NS") {
+      uint64_t ns = 0;
+      ls >> ns;
+      result.execSeconds = static_cast<double>(ns) * 1e-9;
+    } else if (tag == "COVMAP") {
+      if (covPlan == nullptr) continue;
+      std::string metric;
+      std::string bits;
+      ls >> metric >> bits;
+      CovMetric m = metricFromName(metric);
+      auto& bm = result.bitmaps.bits(m);
+      if (bits.size() != bm.size()) {
+        throw ResultParseError("coverage bitmap size mismatch for '" +
+                               metric + "': got " +
+                               std::to_string(bits.size()) + ", plan has " +
+                               std::to_string(bm.size()));
+      }
+      for (size_t k = 0; k < bits.size(); ++k) bm[k] = bits[k] == '1' ? 1 : 0;
+      result.hasCoverage = true;
+    } else if (tag == "DIAG") {
+      int actorId = 0;
+      int kind = 0;
+      uint64_t first = 0;
+      uint64_t count = 0;
+      ls >> actorId >> kind >> first >> count;
+      if (actorId < 0 || actorId >= static_cast<int>(fm.actors.size())) {
+        throw ResultParseError("diagnostic references bad actor id " +
+                               std::to_string(actorId));
+      }
+      DiagRecord rec;
+      rec.actorId = actorId;
+      rec.actorPath = fm.actor(actorId).path;
+      rec.kind = static_cast<DiagKind>(kind);
+      rec.firstStep = first;
+      rec.count = count;
+      rawDiags.push_back(rec);
+    } else if (tag == "CUSTOM") {
+      size_t idx = 0;
+      uint64_t first = 0;
+      uint64_t count = 0;
+      ls >> idx >> first >> count;
+      if (idx >= custom.size()) {
+        throw ResultParseError("custom diagnostic index out of range");
+      }
+      const FlatActor* fa = fm.findByPath(custom[idx].actorPath);
+      DiagRecord rec;
+      rec.actorId = fa != nullptr ? fa->id : -1;
+      rec.actorPath = custom[idx].actorPath;
+      rec.kind = DiagKind::Custom;
+      rec.message = custom[idx].name;
+      rec.firstStep = first;
+      rec.count = count;
+      rawDiags.push_back(rec);
+    } else if (tag == "COLLECT") {
+      size_t idx = 0;
+      uint64_t count = 0;
+      int width = 0;
+      ls >> idx >> count >> width;
+      if (idx >= result.collected.size()) {
+        throw ResultParseError("collect index out of range");
+      }
+      result.collected[idx].count = count;
+      result.collected[idx].last =
+          parseValue(ls, fm.signal(collectSignals[idx]).type, width);
+    } else if (tag == "OUT") {
+      size_t idx = 0;
+      int width = 0;
+      ls >> idx >> width;
+      if (idx >= result.finalOutputs.size()) {
+        throw ResultParseError("output index out of range");
+      }
+      const FlatActor& fa = fm.actor(fm.rootOutports[idx]);
+      result.finalOutputs[idx] =
+          parseValue(ls, fm.signal(fa.inputs[0]).type, width);
+    }
+  }
+  if (!began || !ended) {
+    throw ResultParseError(
+        "generated binary did not produce a complete result block:\n" +
+        output.substr(0, 2000));
+  }
+  // Sort diagnostics like DiagnosticSink::sorted().
+  std::sort(rawDiags.begin(), rawDiags.end(),
+            [](const DiagRecord& a, const DiagRecord& b) {
+              return std::tie(a.firstStep, a.actorPath) <
+                     std::tie(b.firstStep, b.actorPath);
+            });
+  result.diagnostics = std::move(rawDiags);
+  return result;
+}
+
+}  // namespace accmos

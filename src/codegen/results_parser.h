@@ -1,0 +1,33 @@
+// Parses the result protocol printed by a generated simulation binary back
+// into the same SimulationResult structure the in-process engines produce —
+// what makes AccMoS-vs-SSE results directly comparable in the tests and in
+// the Table 2/3 benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cov/coverage.h"
+#include "diag/diagnosis.h"
+#include "graph/flat_model.h"
+#include "sim/options.h"
+#include "sim/result.h"
+
+namespace accmos {
+
+class ResultParseError : public std::runtime_error {
+ public:
+  explicit ResultParseError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+// `collectSignals` must be the emitter's monitored-signal list; plans may be
+// null when the program was generated without the corresponding
+// instrumentation.
+SimulationResult parseResults(const std::string& output, const FlatModel& fm,
+                              const CoveragePlan* covPlan,
+                              const DiagnosisPlan* diagPlan,
+                              const std::vector<int>& collectSignals,
+                              const std::vector<CustomDiagnostic>& custom);
+
+}  // namespace accmos

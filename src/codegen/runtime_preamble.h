@@ -1,0 +1,17 @@
+// The runtime support code embedded at the top of every generated
+// simulation program: wrap-exact store helpers, division, lookup tables,
+// the SplitMix64 stimulus generator, coverage bitmaps, the diagnostic
+// aggregator, and the signal monitor (paper Fig. 3's outputCollect).
+//
+// Every function here mirrors a helper in src/ir/arith.h or
+// src/ir/value.cpp byte-for-byte in behaviour; the cross-engine
+// differential tests depend on that.
+#pragma once
+
+#include <string_view>
+
+namespace accmos {
+
+std::string_view runtimePreamble();
+
+}  // namespace accmos

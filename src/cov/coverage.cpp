@@ -1,0 +1,126 @@
+#include "cov/coverage.h"
+
+#include <sstream>
+
+namespace accmos {
+
+std::string_view covMetricName(CovMetric m) {
+  switch (m) {
+    case CovMetric::Actor: return "actor";
+    case CovMetric::Condition: return "condition";
+    case CovMetric::Decision: return "decision";
+    case CovMetric::MCDC: return "mcdc";
+  }
+  return "?";
+}
+
+CoveragePlan CoveragePlan::build(
+    const FlatModel& fm,
+    const std::function<CovTraits(const FlatActor&)>& traits) {
+  CoveragePlan plan;
+  plan.perActor_.resize(fm.actors.size());
+  int actorSlots = 0;
+  int decisionSlots = 0;
+  int conditionSlots = 0;
+  int mcdcSlots = 0;
+  for (const auto& fa : fm.actors) {
+    CovTraits t = traits(fa);
+    ActorCovInfo& info = plan.perActor_[static_cast<size_t>(fa.id)];
+    if (t.countsForActorCoverage) info.actorSlot = actorSlots++;
+    if (t.decisionOutcomes > 0) {
+      info.decisionBase = decisionSlots;
+      info.decisionOutcomes = t.decisionOutcomes;
+      decisionSlots += t.decisionOutcomes;
+    }
+    if (t.numConditions > 0) {
+      info.conditionBase = conditionSlots;
+      info.numConditions = t.numConditions;
+      conditionSlots += 2 * t.numConditions;
+    }
+    if (t.mcdc && t.numConditions > 0) {
+      info.mcdcBase = mcdcSlots;
+      info.numMcdcConditions = t.numConditions;
+      mcdcSlots += 2 * t.numConditions;
+    }
+  }
+  plan.totals_[static_cast<size_t>(CovMetric::Actor)] = actorSlots;
+  plan.totals_[static_cast<size_t>(CovMetric::Decision)] = decisionSlots;
+  plan.totals_[static_cast<size_t>(CovMetric::Condition)] = conditionSlots;
+  plan.totals_[static_cast<size_t>(CovMetric::MCDC)] = mcdcSlots;
+  return plan;
+}
+
+int CoveragePlan::totalPoints(CovMetric m) const {
+  switch (m) {
+    case CovMetric::Actor:
+    case CovMetric::Decision:
+    case CovMetric::Condition:
+      return totalSlots(m);
+    case CovMetric::MCDC:
+      // A condition is one MC/DC point; it has two slots.
+      return totalSlots(m) / 2;
+  }
+  return 0;
+}
+
+CoverageRecorder::CoverageRecorder(const CoveragePlan& plan) {
+  for (CovMetric m : kAllCovMetrics) {
+    bitmaps_[static_cast<size_t>(m)].assign(
+        static_cast<size_t>(plan.totalSlots(m)), 0);
+  }
+}
+
+void CoverageRecorder::merge(const CoverageRecorder& other) {
+  for (CovMetric m : kAllCovMetrics) {
+    auto& mine = bits(m);
+    const auto& theirs = other.bits(m);
+    for (size_t k = 0; k < mine.size() && k < theirs.size(); ++k) {
+      mine[k] = mine[k] != 0 || theirs[k] != 0 ? 1 : 0;
+    }
+  }
+}
+
+int CoverageRecorder::coveredPoints(const CoveragePlan& plan,
+                                    CovMetric m) const {
+  const auto& b = bits(m);
+  if (m != CovMetric::MCDC) {
+    int covered = 0;
+    for (uint8_t bit : b) covered += bit != 0 ? 1 : 0;
+    return covered;
+  }
+  // MC/DC: both independence directions required per condition.
+  int covered = 0;
+  for (size_t a = 0; a < plan.numActors(); ++a) {
+    const ActorCovInfo& info = plan.info(static_cast<int>(a));
+    for (int c = 0; c < info.numMcdcConditions; ++c) {
+      size_t base = static_cast<size_t>(info.mcdcBase + 2 * c);
+      if (b[base] != 0 && b[base + 1] != 0) ++covered;
+    }
+  }
+  return covered;
+}
+
+CoverageReport makeReport(const CoveragePlan& plan,
+                          const CoverageRecorder& rec) {
+  CoverageReport report;
+  for (CovMetric m : kAllCovMetrics) {
+    auto& e = report.entries[static_cast<size_t>(m)];
+    e.total = plan.totalPoints(m);
+    e.covered = rec.coveredPoints(plan, m);
+  }
+  return report;
+}
+
+std::string CoverageReport::toString() const {
+  std::ostringstream os;
+  os.precision(1);
+  os << std::fixed;
+  for (CovMetric m : kAllCovMetrics) {
+    const Entry& e = of(m);
+    os << covMetricName(m) << ": " << e.covered << "/" << e.total << " ("
+       << e.percent() << "%)  ";
+  }
+  return os.str();
+}
+
+}  // namespace accmos

@@ -1,0 +1,139 @@
+// Model coverage: the four Simulink metrics the paper instruments (§3.2.A):
+// actor, condition, decision, and modified condition/decision (MC/DC).
+//
+// A CoveragePlan statically enumerates every coverage point of a flattened
+// model and assigns it a bitmap slot. All engines (the interpreter and
+// AccMoS-generated code) record into bitmaps indexed by the same slots, so
+// percentages are directly comparable across engines — the property Table 3
+// of the paper relies on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/flat_model.h"
+
+namespace accmos {
+
+enum class CovMetric : uint8_t { Actor, Condition, Decision, MCDC };
+
+inline constexpr CovMetric kAllCovMetrics[] = {
+    CovMetric::Actor, CovMetric::Condition, CovMetric::Decision,
+    CovMetric::MCDC};
+
+std::string_view covMetricName(CovMetric m);
+
+// Per-actor coverage point layout. Slot ranges index into the per-metric
+// bitmaps of a CoverageRecorder.
+struct ActorCovInfo {
+  int actorSlot = -1;      // actor-coverage slot; -1 if not counted
+  int decisionBase = -1;   // decision slots [base, base+decisionOutcomes)
+  int decisionOutcomes = 0;
+  int conditionBase = -1;  // condition i: true slot base+2i, false base+2i+1
+  int numConditions = 0;
+  int mcdcBase = -1;       // condition i: shown-true base+2i, shown-false +1
+  int numMcdcConditions = 0;
+};
+
+// Traits the actor template library supplies per flat actor.
+struct CovTraits {
+  bool countsForActorCoverage = true;
+  int decisionOutcomes = 0;   // 0 when not a decision point
+  int numConditions = 0;      // boolean conditions feeding the actor
+  bool mcdc = false;          // multi-input combination condition
+};
+
+class CoveragePlan {
+ public:
+  CoveragePlan() = default;
+
+  static CoveragePlan build(
+      const FlatModel& fm,
+      const std::function<CovTraits(const FlatActor&)>& traits);
+
+  const ActorCovInfo& info(int actorId) const {
+    return perActor_[static_cast<size_t>(actorId)];
+  }
+  int totalSlots(CovMetric m) const {
+    return totals_[static_cast<size_t>(m)];
+  }
+  // Denominator for the metric's percentage (conditions and MC/DC count
+  // condition *pairs*, decisions count outcomes, actor counts actors).
+  int totalPoints(CovMetric m) const;
+
+  size_t numActors() const { return perActor_.size(); }
+
+ private:
+  std::vector<ActorCovInfo> perActor_;
+  int totals_[4] = {0, 0, 0, 0};
+};
+
+// Runtime bitmaps for one simulation run.
+class CoverageRecorder {
+ public:
+  CoverageRecorder() = default;
+  explicit CoverageRecorder(const CoveragePlan& plan);
+
+  void markActor(const ActorCovInfo& info) {
+    if (info.actorSlot >= 0) bits(CovMetric::Actor)[info.actorSlot] = 1;
+  }
+  // All marks are no-ops when the plan assigned the actor no points of the
+  // metric (e.g. a single-input NOT carries conditions but no MC/DC).
+  void markDecision(const ActorCovInfo& info, int outcome) {
+    if (info.decisionBase < 0) return;
+    bits(CovMetric::Decision)[info.decisionBase + outcome] = 1;
+  }
+  void markCondition(const ActorCovInfo& info, int condition, bool value) {
+    if (info.conditionBase < 0) return;
+    bits(CovMetric::Condition)[info.conditionBase + 2 * condition +
+                               (value ? 0 : 1)] = 1;
+  }
+  // Marks that condition `condition` demonstrated independent effect while
+  // evaluating to `value` (masking MC/DC).
+  void markMcdc(const ActorCovInfo& info, int condition, bool value) {
+    if (info.mcdcBase < 0) return;
+    bits(CovMetric::MCDC)[info.mcdcBase + 2 * condition + (value ? 0 : 1)] = 1;
+  }
+
+  std::vector<uint8_t>& bits(CovMetric m) {
+    return bitmaps_[static_cast<size_t>(m)];
+  }
+  const std::vector<uint8_t>& bits(CovMetric m) const {
+    return bitmaps_[static_cast<size_t>(m)];
+  }
+
+  // ORs another recorder (e.g. accumulating across runs).
+  void merge(const CoverageRecorder& other);
+
+  // Covered points for the metric's percentage numerator. For MC/DC a
+  // condition counts only when independence is shown both ways; for
+  // Condition a condition outcome counts per direction.
+  int coveredPoints(const CoveragePlan& plan, CovMetric m) const;
+
+ private:
+  std::vector<uint8_t> bitmaps_[4];
+};
+
+// Percentages for presentation (Table 3 rows).
+struct CoverageReport {
+  struct Entry {
+    int covered = 0;
+    int total = 0;
+    double percent() const {
+      return total == 0 ? 100.0 : 100.0 * covered / total;
+    }
+  };
+  Entry entries[4];
+
+  const Entry& of(CovMetric m) const {
+    return entries[static_cast<size_t>(m)];
+  }
+  std::string toString() const;
+};
+
+CoverageReport makeReport(const CoveragePlan& plan,
+                          const CoverageRecorder& rec);
+
+}  // namespace accmos

@@ -1,0 +1,26 @@
+#include "diag/custom.h"
+
+namespace accmos {
+
+CustomDiagnostic rangeDiagnostic(std::string actorPath, std::string name,
+                                 double minValue, double maxValue) {
+  CustomDiagnostic d;
+  d.actorPath = std::move(actorPath);
+  d.name = std::move(name);
+  d.kind = CustomDiagnostic::Kind::Range;
+  d.minValue = minValue;
+  d.maxValue = maxValue;
+  return d;
+}
+
+CustomDiagnostic suddenChangeDiagnostic(std::string actorPath,
+                                        std::string name, double maxDelta) {
+  CustomDiagnostic d;
+  d.actorPath = std::move(actorPath);
+  d.name = std::move(name);
+  d.kind = CustomDiagnostic::Kind::SuddenChange;
+  d.maxDelta = maxDelta;
+  return d;
+}
+
+}  // namespace accmos

@@ -1,0 +1,113 @@
+#include "diag/diagnosis.h"
+
+#include <algorithm>
+
+namespace accmos {
+
+std::string_view diagKindName(DiagKind k) {
+  switch (k) {
+    case DiagKind::WrapOnOverflow: return "wrap_on_overflow";
+    case DiagKind::SaturateOnOverflow: return "saturate_on_overflow";
+    case DiagKind::DivisionByZero: return "division_by_zero";
+    case DiagKind::Downcast: return "downcast";
+    case DiagKind::PrecisionLoss: return "precision_loss";
+    case DiagKind::OutOfBounds: return "out_of_bounds";
+    case DiagKind::NanInf: return "nan_inf";
+    case DiagKind::AssertionFailed: return "assertion_failed";
+    case DiagKind::Custom: return "custom";
+  }
+  return "?";
+}
+
+std::optional<DiagKind> diagKindFromName(std::string_view name) {
+  for (DiagKind k : kAllDiagKinds) {
+    if (diagKindName(k) == name) return k;
+  }
+  return std::nullopt;
+}
+
+DiagnosisPlan DiagnosisPlan::build(
+    const FlatModel& fm,
+    const std::function<std::vector<DiagKind>(const FlatActor&)>& traits) {
+  DiagnosisPlan plan;
+  plan.perActor_.resize(fm.actors.size());
+  for (const auto& fa : fm.actors) {
+    auto kinds = traits(fa);
+    plan.totalChecks_ += static_cast<int>(kinds.size());
+    plan.perActor_[static_cast<size_t>(fa.id)] = std::move(kinds);
+  }
+  return plan;
+}
+
+bool DiagnosisPlan::enabled(int actorId, DiagKind kind) const {
+  const auto& kinds = kindsFor(actorId);
+  return std::find(kinds.begin(), kinds.end(), kind) != kinds.end();
+}
+
+void DiagnosticSink::report(int actorId, const std::string& actorPath,
+                            DiagKind kind, uint64_t step,
+                            const std::string& message) {
+  Key key{actorId, kind, message};
+  auto it = records_.find(key);
+  if (it == records_.end()) {
+    DiagRecord rec;
+    rec.actorId = actorId;
+    rec.actorPath = actorPath;
+    rec.kind = kind;
+    rec.message = message;
+    rec.firstStep = step;
+    rec.count = 1;
+    records_.emplace(std::move(key), std::move(rec));
+    return;
+  }
+  it->second.count += 1;
+  it->second.firstStep = std::min(it->second.firstStep, step);
+}
+
+uint64_t DiagnosticSink::totalEvents() const {
+  uint64_t total = 0;
+  for (const auto& [k, r] : records_) total += r.count;
+  return total;
+}
+
+std::optional<uint64_t> DiagnosticSink::firstEventStep() const {
+  std::optional<uint64_t> first;
+  for (const auto& [k, r] : records_) {
+    if (!first || r.firstStep < *first) first = r.firstStep;
+  }
+  return first;
+}
+
+std::optional<uint64_t> DiagnosticSink::firstEventStep(DiagKind kind) const {
+  std::optional<uint64_t> first;
+  for (const auto& [k, r] : records_) {
+    if (r.kind != kind) continue;
+    if (!first || r.firstStep < *first) first = r.firstStep;
+  }
+  return first;
+}
+
+std::optional<uint64_t> DiagnosticSink::firstEventStepFor(
+    const std::string& path) const {
+  std::optional<uint64_t> first;
+  for (const auto& [k, r] : records_) {
+    if (r.actorPath != path) continue;
+    if (!first || r.firstStep < *first) first = r.firstStep;
+  }
+  return first;
+}
+
+std::vector<DiagRecord> DiagnosticSink::sorted() const {
+  std::vector<DiagRecord> out;
+  out.reserve(records_.size());
+  for (const auto& [k, r] : records_) out.push_back(r);
+  std::sort(out.begin(), out.end(), [](const DiagRecord& a, const DiagRecord& b) {
+    return std::tie(a.firstStep, a.actorPath) <
+           std::tie(b.firstStep, b.actorPath);
+  });
+  return out;
+}
+
+void DiagnosticSink::clear() { records_.clear(); }
+
+}  // namespace accmos

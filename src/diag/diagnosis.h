@@ -1,0 +1,109 @@
+// Calculation diagnosis (paper §3.2.B): the error classes SSE enables by
+// default, generated per actor from a diagnostic template library, plus the
+// runtime sink that aggregates triggered events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/flat_model.h"
+
+namespace accmos {
+
+enum class DiagKind : uint8_t {
+  WrapOnOverflow,      // integer result wrapped (paper Fig. 4 line 2)
+  SaturateOnOverflow,  // saturating arithmetic clamped an overflow
+  DivisionByZero,      // Product '/' or Math mod/rem with zero divisor
+  Downcast,         // narrower output than inputs (paper Fig. 4 line 4)
+  PrecisionLoss,    // fractional part / mantissa bits silently dropped
+  OutOfBounds,      // Selector / IndexVector / lookup index outside range
+  NanInf,           // floating computation produced NaN or infinity
+  AssertionFailed,  // Assertion actor input was false
+  Custom,           // user-defined signal diagnosis (§3.2.B)
+};
+
+inline constexpr DiagKind kAllDiagKinds[] = {
+    DiagKind::WrapOnOverflow, DiagKind::SaturateOnOverflow,
+    DiagKind::DivisionByZero, DiagKind::Downcast,
+    DiagKind::PrecisionLoss,  DiagKind::OutOfBounds,
+    DiagKind::NanInf,         DiagKind::AssertionFailed,
+    DiagKind::Custom,
+};
+
+std::string_view diagKindName(DiagKind k);
+std::optional<DiagKind> diagKindFromName(std::string_view name);
+
+// Which checks apply to which actor — the instrumentation pass consults
+// this (Algorithm 1's diagnoseList) and the codegen emits one diagnostic
+// function per (actor, applicable kinds).
+class DiagnosisPlan {
+ public:
+  DiagnosisPlan() = default;
+
+  static DiagnosisPlan build(
+      const FlatModel& fm,
+      const std::function<std::vector<DiagKind>(const FlatActor&)>& traits);
+
+  const std::vector<DiagKind>& kindsFor(int actorId) const {
+    return perActor_[static_cast<size_t>(actorId)];
+  }
+  bool enabled(int actorId, DiagKind kind) const;
+
+  // Total number of (actor, kind) diagnostic points in the plan.
+  int totalChecks() const { return totalChecks_; }
+
+ private:
+  std::vector<std::vector<DiagKind>> perActor_;
+  int totalChecks_ = 0;
+};
+
+// One aggregated diagnostic result line.
+struct DiagRecord {
+  int actorId = -1;
+  std::string actorPath;
+  DiagKind kind = DiagKind::Custom;
+  std::string message;      // extra detail (custom diagnosis name, ...)
+  uint64_t firstStep = 0;   // simulation step of the first occurrence
+  uint64_t count = 0;       // total occurrences
+};
+
+// Aggregating sink: events are merged per (actor, kind, message) so a
+// 50-million-step run with a hot diagnostic stays O(1) in memory.
+class DiagnosticSink {
+ public:
+  void report(int actorId, const std::string& actorPath, DiagKind kind,
+              uint64_t step, const std::string& message = "");
+
+  bool any() const { return !records_.empty(); }
+  size_t eventKinds() const { return records_.size(); }
+  uint64_t totalEvents() const;
+
+  // Earliest step at which any diagnostic (optionally of a given kind /
+  // actor path) fired; nullopt when none did.
+  std::optional<uint64_t> firstEventStep() const;
+  std::optional<uint64_t> firstEventStep(DiagKind kind) const;
+  std::optional<uint64_t> firstEventStepFor(const std::string& path) const;
+
+  // Records sorted by firstStep.
+  std::vector<DiagRecord> sorted() const;
+
+  void clear();
+
+ private:
+  struct Key {
+    int actorId;
+    DiagKind kind;
+    std::string message;
+    bool operator<(const Key& o) const {
+      return std::tie(actorId, kind, message) <
+             std::tie(o.actorId, o.kind, o.message);
+    }
+  };
+  std::map<Key, DiagRecord> records_;
+};
+
+}  // namespace accmos

@@ -1,0 +1,33 @@
+// Interface the flattener uses to query actor-type metadata without
+// depending on the concrete actor template library (which lives above the
+// graph layer).
+#pragma once
+
+#include "ir/model.h"
+
+namespace accmos {
+
+class ActorCatalog {
+ public:
+  virtual ~ActorCatalog() = default;
+
+  struct PortLayout {
+    int numInputs = 0;
+    int numOutputs = 0;
+  };
+
+  // Port layout for a concrete (non-subsystem) actor instance; parameters
+  // may affect it (e.g. a Sum with ops "++-" has three inputs).
+  // Throws ModelError for unknown actor types.
+  virtual PortLayout ports(const Actor& actor) const = 0;
+
+  // Delay-class actors produce this step's output from state alone; their
+  // inputs are consumed in the update phase. They break feedback cycles.
+  virtual bool isDelayClass(const Actor& actor) const = 0;
+
+  // Data type / width of the given 0-based output port.
+  virtual DataType outputType(const Actor& actor, int port) const = 0;
+  virtual int outputWidth(const Actor& actor, int port) const = 0;
+};
+
+}  // namespace accmos

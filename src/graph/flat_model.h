@@ -1,0 +1,69 @@
+// Flattened, scheduled form of a model — the output of the paper's Model
+// Preprocessing step (§3.1).
+//
+// Subsystems are inlined, every actor gets a unique path
+// (MODEL_SUBSYSTEM_ACTOR, the paper's index-key convention), all signal
+// relationships are resolved to dense signal IDs, and actors are ordered by
+// a topological sort of the directed computation graph (the paper's
+// data-flow labelling / schedule-convert module).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/model.h"
+
+namespace accmos {
+
+struct SignalInfo {
+  DataType type = DataType::F64;
+  int width = 1;
+  int producerActor = -1;  // flat actor id
+  int producerPort = 0;    // 0-based output port on the producer
+  std::string name;        // producer path + ":" + 1-based port
+};
+
+struct FlatActor {
+  int id = -1;
+  std::string path;         // MODEL_SUB_ACTOR unique key
+  const Actor* src = nullptr;
+  std::vector<int> inputs;   // signal id per 0-based input port
+  std::vector<int> outputs;  // signal id per 0-based output port
+  int enableSignal = -1;     // gating signal when inside an enabled subsystem
+  bool delayClass = false;   // output depends on state, not current inputs
+  int dataStore = -1;        // store index for DataStore{Read,Write,Memory}
+
+  const std::string& type() const { return src->type(); }
+};
+
+// A named global variable shared by DataStoreRead/Write actors (the paper's
+// case study uses one: the CSEV `quantity` accumulator).
+struct DataStoreInfo {
+  std::string name;
+  DataType type = DataType::F64;
+  int width = 1;
+  double initial = 0.0;
+};
+
+struct FlatModel {
+  std::string modelName;
+  std::vector<FlatActor> actors;
+  std::vector<SignalInfo> signals;
+  // Execution order (flat actor ids). Every actor appears exactly once.
+  std::vector<int> schedule;
+  // Root-level Inport/Outport actor ids ordered by their `port` parameter.
+  std::vector<int> rootInports;
+  std::vector<int> rootOutports;
+  std::vector<DataStoreInfo> dataStores;
+
+  const FlatActor& actor(int id) const {
+    return actors[static_cast<size_t>(id)];
+  }
+  const SignalInfo& signal(int id) const {
+    return signals[static_cast<size_t>(id)];
+  }
+  // Flat actor with the given path; nullptr when absent.
+  const FlatActor* findByPath(const std::string& path) const;
+};
+
+}  // namespace accmos

@@ -1,0 +1,21 @@
+// Model preprocessing: subsystem flattening, signal resolution, and
+// execution-order scheduling (paper §3.1).
+#pragma once
+
+#include "graph/catalog.h"
+#include "graph/flat_model.h"
+
+namespace accmos {
+
+// Flattens `model` into a scheduled FlatModel.
+//
+// Throws ModelError on:
+//  - unknown actor types,
+//  - unconnected or multiply-driven input ports,
+//  - algebraic loops (cycles not broken by a delay-class actor); the error
+//    message lists the actors on the cycle,
+//  - malformed subsystems (missing/duplicate Inport/Outport indices,
+//    nested enabled subsystems).
+FlatModel flatten(const Model& model, const ActorCatalog& catalog);
+
+}  // namespace accmos

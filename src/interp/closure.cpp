@@ -1,0 +1,18 @@
+// Named entry points for the two fast simulation modes over the shared
+// compiled-program core (interp/bytecode.cpp).
+#include "interp/compiled.h"
+
+namespace accmos {
+
+SimulationResult runAccelerator(const FlatModel& fm, const SimOptions& opt,
+                                const TestCaseSpec& tests) {
+  return runCompiled(fm, CompiledMode::Accelerator, opt, tests);
+}
+
+SimulationResult runRapidAccelerator(const FlatModel& fm,
+                                     const SimOptions& opt,
+                                     const TestCaseSpec& tests) {
+  return runCompiled(fm, CompiledMode::RapidAccelerator, opt, tests);
+}
+
+}  // namespace accmos

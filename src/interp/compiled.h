@@ -1,0 +1,65 @@
+// The compiled in-process engines — stand-ins for Simulink's two fast
+// simulation modes (paper §2):
+//
+//  - SSEac (Accelerator): the model is lowered to a flat array of typed
+//    operations dispatched through function pointers (the MEX-compilation
+//    analogue), but every step performs a full data transfer of all signals
+//    to a host mirror and every operation goes through an engine-service
+//    callback — the "frequent synchronization with Simulink" the paper
+//    identifies as its bottleneck.
+//  - SSErac (Rapid Accelerator): the same typed operations run in a fused
+//    loop with no per-op service and only root-I/O synchronization.
+//
+// Per the paper, neither mode can collect coverage or run diagnostics; the
+// facade enforces that. Numeric results are bit-identical to the
+// interpreter and to AccMoS-generated code (shared wrap-exact core).
+#pragma once
+
+#include <memory>
+
+#include "graph/flat_model.h"
+#include "sim/options.h"
+#include "sim/result.h"
+#include "sim/testcase.h"
+
+namespace accmos {
+
+enum class CompiledMode {
+  Accelerator,       // per-op service + full host mirror sync
+  RapidAccelerator,  // fused loop, root-I/O sync only
+};
+
+class CompiledProgram {
+ public:
+  // Lowers the flattened model. Throws ModelError for constructs the
+  // lowering does not support (none of the built-in actor types).
+  CompiledProgram(const FlatModel& fm, CompiledMode mode);
+  ~CompiledProgram();
+
+  CompiledProgram(const CompiledProgram&) = delete;
+  CompiledProgram& operator=(const CompiledProgram&) = delete;
+
+  SimulationResult run(const SimOptions& opt, const TestCaseSpec& tests);
+
+  // Total engine-service callbacks performed (Accelerator mode telemetry).
+  uint64_t serviceCalls() const;
+
+ public:
+  // Implementation detail exposed for the lowering helpers in bytecode.cpp.
+  struct Impl;
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+SimulationResult runCompiled(const FlatModel& fm, CompiledMode mode,
+                             const SimOptions& opt, const TestCaseSpec& tests);
+
+// Named entry points matching the paper's mode names.
+SimulationResult runAccelerator(const FlatModel& fm, const SimOptions& opt,
+                                const TestCaseSpec& tests);
+SimulationResult runRapidAccelerator(const FlatModel& fm,
+                                     const SimOptions& opt,
+                                     const TestCaseSpec& tests);
+
+}  // namespace accmos

@@ -1,0 +1,250 @@
+#include "interp/interpreter.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "actors/spec.h"
+
+namespace accmos {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+Interpreter::Interpreter(const FlatModel& fm, const SimOptions& opt)
+    : fm_(fm), opt_(opt) {
+  validateFlatModel(fm_);
+  if (opt_.coverage) {
+    covPlan_ = CoveragePlan::build(
+        fm_, [](const FlatActor& fa) { return covTraitsFor(fa); });
+  }
+  if (opt_.diagnosis) {
+    diagPlan_ = DiagnosisPlan::build(fm_, [&](const FlatActor& fa) {
+      return diagKindsFor(fm_, fa);
+    });
+  }
+
+  const Registry& reg = Registry::instance();
+  signals_.reserve(fm_.signals.size());
+  for (const auto& sig : fm_.signals) {
+    signals_.emplace_back(sig.type, sig.width);
+  }
+  states_.resize(fm_.actors.size());
+  hasState_.assign(fm_.actors.size(), false);
+  for (const auto& fa : fm_.actors) {
+    auto st = reg.get(fa).state(fm_, fa);
+    if (st) {
+      hasState_[static_cast<size_t>(fa.id)] = true;
+      updateList_.push_back(fa.id);
+    }
+  }
+  for (const auto& ds : fm_.dataStores) {
+    stores_.emplace_back(ds.type, ds.width);
+  }
+
+  // Signal monitor: explicit collect list plus Scope/Display inputs.
+  auto addSignal = [&](int sig) {
+    if (std::find(collectSignals_.begin(), collectSignals_.end(), sig) ==
+        collectSignals_.end()) {
+      collectSignals_.push_back(sig);
+    }
+  };
+  for (const auto& fa : fm_.actors) {
+    bool listed = std::find(opt_.collectList.begin(), opt_.collectList.end(),
+                            fa.path) != opt_.collectList.end();
+    if (listed) {
+      for (int sig : fa.outputs) addSignal(sig);
+    }
+    if (fa.type() == "Scope" || fa.type() == "Display") {
+      for (int sig : fa.inputs) addSignal(sig);
+    }
+  }
+
+  for (const auto& cd : opt_.customDiagnostics) {
+    const FlatActor* fa = fm_.findByPath(cd.actorPath);
+    if (fa == nullptr) {
+      throw ModelError("custom diagnostic '" + cd.name +
+                       "' references unknown actor path '" + cd.actorPath +
+                       "'");
+    }
+    if (fa->outputs.empty()) {
+      throw ModelError("custom diagnostic '" + cd.name + "': actor '" +
+                       cd.actorPath + "' has no outputs to monitor");
+    }
+    CustomSlot slot;
+    slot.diag = cd;
+    slot.actorId = fa->id;
+    slot.signalId = fa->outputs[0];
+    custom_.push_back(std::move(slot));
+  }
+}
+
+void Interpreter::resetState() {
+  const Registry& reg = Registry::instance();
+  for (size_t k = 0; k < fm_.signals.size(); ++k) {
+    signals_[k].resize(fm_.signals[k].type, fm_.signals[k].width);
+  }
+  for (const auto& fa : fm_.actors) {
+    if (!hasState_[static_cast<size_t>(fa.id)]) continue;
+    auto st = reg.get(fa).state(fm_, fa);
+    Value& v = states_[static_cast<size_t>(fa.id)];
+    v.resize(st->type, st->width);
+    for (int i = 0; i < st->width; ++i) {
+      double init = st->initial.empty()
+                        ? 0.0
+                        : st->initial[std::min(st->initial.size() - 1,
+                                               static_cast<size_t>(i))];
+      v.store(i, init);
+    }
+  }
+  for (size_t k = 0; k < fm_.dataStores.size(); ++k) {
+    const auto& ds = fm_.dataStores[k];
+    stores_[k].resize(ds.type, ds.width);
+    for (int i = 0; i < ds.width; ++i) stores_[k].store(i, ds.initial);
+  }
+  for (auto& slot : custom_) {
+    slot.prev = 0.0;
+    slot.hasPrev = false;
+  }
+}
+
+SimulationResult Interpreter::run(const TestCaseSpec& tests) {
+  resetState();
+  const Registry& reg = Registry::instance();
+  SimulationResult result;
+
+  CoverageRecorder cov(covPlan_);
+  DiagnosticSink sink;
+  bool stop = false;
+
+  EvalContext ctx(fm_, signals_, stores_);
+  ctx.setInstrumentation(opt_.coverage ? &covPlan_ : nullptr,
+                         opt_.coverage ? &cov : nullptr,
+                         opt_.diagnosis ? &diagPlan_ : nullptr,
+                         opt_.diagnosis ? &sink : nullptr);
+  ctx.setStopFlag(&stop);
+
+  // Pre-resolve specs to avoid a registry lookup per actor per step (SSE
+  // would cache block methods too).
+  std::vector<const ActorSpec*> specs(fm_.actors.size());
+  for (const auto& fa : fm_.actors) {
+    specs[static_cast<size_t>(fa.id)] = &reg.get(fa);
+  }
+
+  // Collected-signal bookkeeping.
+  std::vector<CollectedSignal> collected;
+  for (int sig : collectSignals_) {
+    CollectedSignal cs;
+    cs.path = fm_.signal(sig).name;
+    cs.last = Value(fm_.signal(sig).type, fm_.signal(sig).width);
+    collected.push_back(std::move(cs));
+  }
+
+  StimulusStream stim(tests, fm_);
+
+  auto start = Clock::now();
+  uint64_t step = 0;
+  for (; step < opt_.maxSteps; ++step) {
+    ctx.setStep(step);
+    stim.fill(step, signals_);
+
+    // Output phase, in execution order.
+    for (int id : fm_.schedule) {
+      const FlatActor& fa = fm_.actors[static_cast<size_t>(id)];
+      if (fa.enableSignal >= 0 &&
+          !signals_[static_cast<size_t>(fa.enableSignal)].asBool(0)) {
+        continue;
+      }
+      ctx.setActor(&fa, &states_[static_cast<size_t>(id)]);
+      specs[static_cast<size_t>(id)]->eval(ctx);
+      if (opt_.coverage) cov.markActor(covPlan_.info(id));
+    }
+
+    // Update phase (state latch).
+    for (int id : updateList_) {
+      const FlatActor& fa = fm_.actors[static_cast<size_t>(id)];
+      if (fa.enableSignal >= 0 &&
+          !signals_[static_cast<size_t>(fa.enableSignal)].asBool(0)) {
+        continue;
+      }
+      ctx.setActor(&fa, &states_[static_cast<size_t>(id)]);
+      specs[static_cast<size_t>(id)]->update(ctx);
+    }
+
+    // Engine services: signal monitor and custom diagnostics.
+    for (size_t k = 0; k < collected.size(); ++k) {
+      collected[k].last = signals_[static_cast<size_t>(collectSignals_[k])];
+      collected[k].count += 1;
+    }
+    for (auto& slot : custom_) {
+      double cur = signals_[static_cast<size_t>(slot.signalId)].asDouble(0);
+      bool fire = false;
+      switch (slot.diag.kind) {
+        case CustomDiagnostic::Kind::Range:
+          fire = cur < slot.diag.minValue || cur > slot.diag.maxValue;
+          break;
+        case CustomDiagnostic::Kind::SuddenChange:
+          fire = slot.hasPrev &&
+                 std::fabs(cur - slot.prev) > slot.diag.maxDelta;
+          break;
+        case CustomDiagnostic::Kind::Expression:
+          fire = slot.diag.callback &&
+                 slot.diag.callback(cur, slot.hasPrev ? slot.prev : 0.0, step);
+          break;
+      }
+      if (fire) {
+        sink.report(slot.actorId,
+                    fm_.actor(slot.actorId).path, DiagKind::Custom, step,
+                    slot.diag.name);
+      }
+      slot.prev = cur;
+      slot.hasPrev = true;
+    }
+
+    if (stop) {
+      ++step;
+      result.stoppedEarly = true;
+      break;
+    }
+    if (opt_.stopOnDiagnostic && sink.any()) {
+      ++step;
+      result.stoppedEarly = true;
+      break;
+    }
+    if (opt_.timeBudgetSec > 0.0 && (step & 1023) == 1023 &&
+        seconds(start, Clock::now()) >= opt_.timeBudgetSec) {
+      ++step;
+      break;
+    }
+  }
+  result.execSeconds = seconds(start, Clock::now());
+  result.stepsExecuted = step;
+
+  if (opt_.coverage) {
+    result.hasCoverage = true;
+    result.coverage = makeReport(covPlan_, cov);
+    result.bitmaps = cov;
+  }
+  result.diagnostics = sink.sorted();
+  result.collected = std::move(collected);
+  for (int id : fm_.rootOutports) {
+    const FlatActor& fa = fm_.actor(id);
+    result.finalOutputs.push_back(
+        signals_[static_cast<size_t>(fa.inputs[0])]);
+  }
+  return result;
+}
+
+SimulationResult runInterpreter(const FlatModel& fm, const SimOptions& opt,
+                                const TestCaseSpec& tests) {
+  Interpreter interp(fm, opt);
+  return interp.run(tests);
+}
+
+}  // namespace accmos

@@ -1,0 +1,58 @@
+// The interpreting simulation engine — the stand-in for Simulink's SSE.
+//
+// Faithful to what makes SSE slow (paper §1/§4): boxed values, virtual
+// dispatch per actor per step, per-step engine services (signal monitor,
+// diagnostics, coverage) running through generic paths. This is the
+// baseline AccMoS's generated code is measured against.
+#pragma once
+
+#include "cov/coverage.h"
+#include "diag/diagnosis.h"
+#include "graph/flat_model.h"
+#include "sim/options.h"
+#include "sim/result.h"
+#include "sim/testcase.h"
+
+namespace accmos {
+
+class Interpreter {
+ public:
+  // Prepares plans, state storage and the schedule for `fm`.
+  // `fm` must outlive the Interpreter.
+  Interpreter(const FlatModel& fm, const SimOptions& opt);
+
+  // Runs from a fresh initial state with the given stimulus.
+  SimulationResult run(const TestCaseSpec& tests);
+
+  const CoveragePlan& coveragePlan() const { return covPlan_; }
+  const DiagnosisPlan& diagnosisPlan() const { return diagPlan_; }
+
+ private:
+  struct CustomSlot {
+    CustomDiagnostic diag;
+    int actorId;
+    int signalId;
+    double prev = 0.0;
+    bool hasPrev = false;
+  };
+
+  void resetState();
+
+  const FlatModel& fm_;
+  SimOptions opt_;
+  CoveragePlan covPlan_;
+  DiagnosisPlan diagPlan_;
+  std::vector<Value> signals_;
+  std::vector<Value> states_;       // indexed by actor id (may be empty Value)
+  std::vector<bool> hasState_;
+  std::vector<Value> stores_;
+  std::vector<int> updateList_;     // actors whose spec has an update phase
+  std::vector<int> collectSignals_; // monitored signal ids
+  std::vector<CustomSlot> custom_;
+};
+
+// Convenience: flatten + validate + run in one call.
+SimulationResult runInterpreter(const FlatModel& fm, const SimOptions& opt,
+                                const TestCaseSpec& tests);
+
+}  // namespace accmos

@@ -1,0 +1,177 @@
+#include "ir/value.h"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "ir/arith.h"
+
+namespace accmos {
+
+Value::Value(DataType type, int width) : type_(type) {
+  if (width < 1) throw std::invalid_argument("Value width must be >= 1");
+  slots_.assign(static_cast<size_t>(width), 0);
+}
+
+Value Value::scalarF(DataType type, double v) {
+  Value val(type, 1);
+  val.setF(0, v);
+  return val;
+}
+
+Value Value::scalarI(DataType type, int64_t v) {
+  Value val(type, 1);
+  val.setI(0, v);
+  return val;
+}
+
+Value Value::scalarBool(bool v) {
+  Value val(DataType::Bool, 1);
+  val.setI(0, v ? 1 : 0);
+  return val;
+}
+
+void Value::resize(DataType type, int width) {
+  type_ = type;
+  slots_.assign(static_cast<size_t>(width), 0);
+}
+
+int64_t Value::i(int idx) const {
+  // Slots hold the wrapped two's-complement pattern already sign-extended.
+  return static_cast<int64_t>(raw(idx));
+}
+
+double Value::f(int idx) const {
+  if (type_ == DataType::F32) {
+    return std::bit_cast<float>(static_cast<uint32_t>(raw(idx)));
+  }
+  return std::bit_cast<double>(raw(idx));
+}
+
+bool Value::setI(int idx, int64_t v) {
+  if (isFloat()) {
+    setF(idx, static_cast<double>(v));
+    return false;
+  }
+  bool wrapped = false;
+  int64_t out;
+  if (isUnsignedInt(type_)) {
+    uint64_t u = wrapToUint(type_, static_cast<uint64_t>(v), &wrapped);
+    // Also flag negative inputs stored into unsigned types.
+    if (v < 0) wrapped = true;
+    out = static_cast<int64_t>(u);
+  } else {
+    out = wrapToInt(type_, v, &wrapped);
+  }
+  setRaw(idx, static_cast<uint64_t>(out));
+  return wrapped;
+}
+
+bool Value::setF(int idx, double v) {
+  if (type_ == DataType::F32) {
+    setRaw(idx, std::bit_cast<uint32_t>(static_cast<float>(v)));
+    return false;
+  }
+  if (type_ == DataType::F64) {
+    setRaw(idx, std::bit_cast<uint64_t>(v));
+    return false;
+  }
+  return setI(idx, static_cast<int64_t>(v));
+}
+
+double Value::asDouble(int idx) const {
+  if (isFloat()) return f(idx);
+  if (isUnsignedInt(type_)) {
+    return static_cast<double>(static_cast<uint64_t>(raw(idx)));
+  }
+  return static_cast<double>(i(idx));
+}
+
+int64_t Value::asInt(int idx) const {
+  if (isFloat()) return f2i(f(idx));
+  return i(idx);
+}
+
+bool Value::asBool(int idx) const {
+  if (isFloat()) return f(idx) != 0.0;
+  return raw(idx) != 0;
+}
+
+Value::StoreFlags Value::store(int idx, double v) {
+  StoreFlags flags;
+  if (type_ == DataType::F64) {
+    setF(idx, v);
+    return flags;
+  }
+  if (type_ == DataType::F32) {
+    float narrowed = static_cast<float>(v);
+    if (static_cast<double>(narrowed) != v && std::isfinite(v)) {
+      flags.precisionLoss = true;
+    }
+    setRaw(idx, std::bit_cast<uint32_t>(narrowed));
+    return flags;
+  }
+  // Float -> integer: round to nearest (Simulink default for conversion),
+  // then wrap into the destination width. One definition shared with the
+  // typed engines and the generated runtime.
+  RealStoreResult r = storeDoubleAsInt(type_, v);
+  setRaw(idx, static_cast<uint64_t>(r.value));
+  flags.wrapped = r.wrapped;
+  flags.precisionLoss = flags.precisionLoss || r.precisionLoss;
+  return flags;
+}
+
+Value::StoreFlags Value::convertFrom(const Value& src) {
+  StoreFlags acc;
+  int n = std::min(width(), src.width());
+  for (int k = 0; k < n; ++k) {
+    StoreFlags f;
+    if (src.isFloat()) {
+      f = store(k, src.f(k));
+    } else if (isFloat()) {
+      // int -> float: flag precision loss when the value does not
+      // round-trip (mirrors the generated conversion template).
+      double d = src.asDouble(k);
+      setF(k, d);
+      if (this->f(k) != d) {
+        f.precisionLoss = true;
+      } else if (isUnsignedInt(src.type())) {
+        if (static_cast<uint64_t>(static_cast<long double>(d)) !=
+            static_cast<uint64_t>(src.i(k))) {
+          f.precisionLoss = true;
+        }
+      } else if (static_cast<int64_t>(d) != src.i(k)) {
+        f.precisionLoss = true;
+      }
+    } else {
+      f.wrapped = setI(k, src.i(k));
+    }
+    acc.wrapped = acc.wrapped || f.wrapped;
+    acc.precisionLoss = acc.precisionLoss || f.precisionLoss;
+  }
+  return acc;
+}
+
+bool Value::operator==(const Value& other) const {
+  return type_ == other.type_ && slots_ == other.slots_;
+}
+
+std::string Value::toString() const {
+  std::ostringstream os;
+  os << dataTypeName(type_) << '[';
+  for (int k = 0; k < width(); ++k) {
+    if (k > 0) os << ' ';
+    if (isFloat()) {
+      os << f(k);
+    } else if (isUnsignedInt(type_)) {
+      os << static_cast<uint64_t>(raw(k));
+    } else {
+      os << i(k);
+    }
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace accmos

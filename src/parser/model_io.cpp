@@ -1,0 +1,168 @@
+#include "parser/model_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "xml/xml.h"
+
+namespace accmos {
+namespace {
+
+void writeSystem(const System& sys, xml::Element& parent) {
+  xml::Element& e = parent.addChild("system");
+  e.setAttr("name", sys.name());
+  for (const auto& a : sys.actors()) {
+    xml::Element& ae = e.addChild("actor");
+    ae.setAttr("name", a->name());
+    ae.setAttr("type", a->type());
+    for (const auto& [key, value] : a->params().raw()) {
+      xml::Element& pe = ae.addChild("param");
+      pe.setAttr("name", key);
+      pe.setAttr("value", value);
+    }
+    if (a->isSubsystem()) writeSystem(*a->subsystem(), ae);
+  }
+  for (const auto& l : sys.lines()) {
+    xml::Element& le = e.addChild("line");
+    le.setAttr("from", l.fromActor);
+    le.setAttr("fromPort", std::to_string(l.fromPort));
+    le.setAttr("to", l.toActor);
+    le.setAttr("toPort", std::to_string(l.toPort));
+  }
+}
+
+void readSystem(const xml::Element& e, System& sys) {
+  for (const xml::Element* ae : e.childrenNamed("actor")) {
+    std::string name = ae->attr("name");
+    std::string type = ae->attr("type");
+    if (name.empty() || type.empty()) {
+      throw ModelError("actor element needs 'name' and 'type' attributes");
+    }
+    Actor& a = sys.addActor(name, type);
+    for (const xml::Element* pe : ae->childrenNamed("param")) {
+      if (!pe->hasAttr("name")) {
+        throw ModelError("param element in actor '" + name +
+                         "' needs a 'name' attribute");
+      }
+      a.params().set(pe->attr("name"), pe->attr("value"));
+    }
+    const xml::Element* nested = ae->child("system");
+    if (nested != nullptr) {
+      readSystem(*nested, a.makeSubsystem());
+    }
+  }
+  for (const xml::Element* le : e.childrenNamed("line")) {
+    if (!le->hasAttr("from") || !le->hasAttr("to")) {
+      throw ModelError("line element needs 'from' and 'to' attributes");
+    }
+    sys.connect(le->attr("from"), static_cast<int>(le->attrInt("fromPort", 1)),
+                le->attr("to"), static_cast<int>(le->attrInt("toPort", 1)));
+  }
+}
+
+void writeStimulus(const TestCaseSpec& spec, xml::Element& parent) {
+  xml::Element& e = parent.addChild("stimulus");
+  e.setAttr("seed", std::to_string(spec.seed));
+  for (const auto& ps : spec.ports) {
+    xml::Element& pe = e.addChild("port");
+    if (!ps.sequence.empty()) {
+      std::ostringstream os;
+      os.precision(17);
+      for (size_t k = 0; k < ps.sequence.size(); ++k) {
+        if (k > 0) os << ',';
+        os << ps.sequence[k];
+      }
+      pe.setAttr("sequence", os.str());
+    } else {
+      std::ostringstream lo;
+      lo.precision(17);
+      lo << ps.min;
+      std::ostringstream hi;
+      hi.precision(17);
+      hi << ps.max;
+      pe.setAttr("min", lo.str());
+      pe.setAttr("max", hi.str());
+    }
+  }
+}
+
+TestCaseSpec readStimulus(const xml::Element& e) {
+  TestCaseSpec spec;
+  spec.seed = static_cast<uint64_t>(e.attrInt("seed", 1));
+  for (const xml::Element* pe : e.childrenNamed("port")) {
+    PortStimulus ps;
+    if (pe->hasAttr("sequence")) {
+      std::istringstream is(pe->attr("sequence"));
+      std::string tok;
+      while (std::getline(is, tok, ',')) {
+        if (!tok.empty()) {
+          ps.sequence.push_back(std::strtod(tok.c_str(), nullptr));
+        }
+      }
+      if (ps.sequence.empty()) {
+        throw ModelError("<port sequence> must contain values");
+      }
+    } else {
+      ps.min = pe->attrDouble("min", 0.0);
+      ps.max = pe->attrDouble("max", 1.0);
+    }
+    spec.ports.push_back(std::move(ps));
+  }
+  return spec;
+}
+
+}  // namespace
+
+std::string writeModelToString(const Model& model,
+                               const TestCaseSpec* stimulus) {
+  xml::Element root("model");
+  root.setAttr("name", model.name());
+  writeSystem(model.root(), root);
+  if (stimulus != nullptr) writeStimulus(*stimulus, root);
+  return xml::serialize(root);
+}
+
+void writeModelToFile(const Model& model, const std::string& path,
+                      const TestCaseSpec* stimulus) {
+  std::ofstream out(path);
+  if (!out) throw ModelError("cannot write model file '" + path + "'");
+  out << writeModelToString(model, stimulus);
+}
+
+LoadedModel loadModelFromString(const std::string& text) {
+  auto doc = xml::parse(text);
+  if (doc->name() != "model") {
+    throw ModelError("root element must be <model>, got <" + doc->name() +
+                     ">");
+  }
+  std::string name = doc->attr("name");
+  if (name.empty()) throw ModelError("<model> needs a 'name' attribute");
+  LoadedModel loaded;
+  loaded.model = std::make_unique<Model>(name);
+  const xml::Element* rootSys = doc->child("system");
+  if (rootSys == nullptr) {
+    throw ModelError("<model> needs a root <system> element");
+  }
+  readSystem(*rootSys, loaded.model->root());
+  const xml::Element* stim = doc->child("stimulus");
+  if (stim != nullptr) loaded.stimulus = readStimulus(*stim);
+  return loaded;
+}
+
+LoadedModel loadModelFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ModelError("cannot open model file '" + path + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return loadModelFromString(os.str());
+}
+
+std::unique_ptr<Model> readModelFromString(const std::string& text) {
+  return loadModelFromString(text).model;
+}
+
+std::unique_ptr<Model> readModelFromFile(const std::string& path) {
+  return loadModelFromFile(path).model;
+}
+
+}  // namespace accmos

@@ -1,0 +1,55 @@
+// Model file format (XML) reader/writer.
+//
+// The format mirrors the two-part structure the paper describes for
+// Simulink model files (§3.1): actors carry only their own information
+// (type, parameters), and <line> elements separately record the data-flow
+// relationships connecting ports.
+//
+//   <model name="M">
+//     <system name="root">
+//       <actor name="In1" type="Inport"><param name="port" value="1"/></actor>
+//       <actor name="Sub" type="Subsystem">
+//         <system> ... </system>
+//       </actor>
+//       <line from="In1" fromPort="1" to="Sub" toPort="1"/>
+//     </system>
+//   </model>
+// A model file may also embed its stimulus (test-case spec) so exported
+// models are self-contained:
+//
+//   <stimulus seed="7">
+//     <port min="0" max="50"/>
+//     <port sequence="1,2,3"/>
+//   </stimulus>
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "ir/model.h"
+#include "sim/testcase.h"
+
+namespace accmos {
+
+// Serializes a model to XML text / a file; `stimulus` (optional) is
+// embedded as a <stimulus> element.
+std::string writeModelToString(const Model& model,
+                               const TestCaseSpec* stimulus = nullptr);
+void writeModelToFile(const Model& model, const std::string& path,
+                      const TestCaseSpec* stimulus = nullptr);
+
+// Parses XML text / a file into a Model. Throws ModelError (semantic) or
+// xml::ParseError (syntactic) on bad input.
+std::unique_ptr<Model> readModelFromString(const std::string& text);
+std::unique_ptr<Model> readModelFromFile(const std::string& path);
+
+// A model plus its embedded stimulus, if any.
+struct LoadedModel {
+  std::unique_ptr<Model> model;
+  std::optional<TestCaseSpec> stimulus;
+};
+LoadedModel loadModelFromString(const std::string& text);
+LoadedModel loadModelFromFile(const std::string& path);
+
+}  // namespace accmos

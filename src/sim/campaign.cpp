@@ -1,0 +1,96 @@
+#include "sim/campaign.h"
+
+#include <map>
+#include <tuple>
+
+#include "actors/spec.h"
+#include "codegen/accmos_engine.h"
+#include "interp/interpreter.h"
+
+namespace accmos {
+namespace {
+
+void mergeDiagnostics(std::map<std::tuple<int, DiagKind, std::string>,
+                               DiagRecord>& merged,
+                      const std::vector<DiagRecord>& records) {
+  for (const auto& rec : records) {
+    auto key = std::make_tuple(rec.actorId, rec.kind, rec.message);
+    auto it = merged.find(key);
+    if (it == merged.end()) {
+      merged.emplace(key, rec);
+    } else {
+      it->second.count += rec.count;
+      it->second.firstStep = std::min(it->second.firstStep, rec.firstStep);
+    }
+  }
+}
+
+}  // namespace
+
+CampaignResult runCampaign(const FlatModel& fm, const SimOptions& opt,
+                           const TestCaseSpec& baseTests,
+                           const std::vector<uint64_t>& seeds) {
+  if (opt.engine != Engine::SSE && opt.engine != Engine::AccMoS) {
+    throw ModelError(
+        "test campaigns need an instrumented engine (SSE or AccMoS)");
+  }
+  if (!opt.coverage) {
+    throw ModelError("test campaigns accumulate coverage; enable it");
+  }
+  if (seeds.empty()) throw ModelError("test campaign needs at least one seed");
+
+  CampaignResult out;
+  CoveragePlan plan = CoveragePlan::build(
+      fm, [](const FlatActor& fa) { return covTraitsFor(fa); });
+  out.mergedBitmaps = CoverageRecorder(plan);
+  std::map<std::tuple<int, DiagKind, std::string>, DiagRecord> merged;
+
+  // Build each engine once; reuse per seed.
+  std::unique_ptr<Interpreter> interp;
+  std::unique_ptr<AccMoSEngine> engine;
+  TestCaseSpec tests = baseTests;
+  if (opt.engine == Engine::SSE) {
+    interp = std::make_unique<Interpreter>(fm, opt);
+  }
+
+  for (uint64_t seed : seeds) {
+    tests.seed = seed;
+    SimulationResult res;
+    if (opt.engine == Engine::SSE) {
+      res = interp->run(tests);
+    } else {
+      // Generate + compile once; the generated program takes the stimulus
+      // seed as a runtime argument, so the same binary serves every seed.
+      if (!engine) {
+        engine = std::make_unique<AccMoSEngine>(fm, opt, baseTests);
+        out.generateSeconds = engine->generateSeconds();
+        out.compileSeconds = engine->compileSeconds();
+      }
+      res = engine->run(0, -1.0, seed);
+    }
+
+    out.mergedBitmaps.merge(res.bitmaps);
+    mergeDiagnostics(merged, res.diagnostics);
+    out.totalExecSeconds += res.execSeconds;
+
+    CampaignSeedResult sr;
+    sr.seed = seed;
+    sr.steps = res.stepsExecuted;
+    sr.execSeconds = res.execSeconds;
+    sr.coverage = res.coverage;
+    sr.cumulative = makeReport(plan, out.mergedBitmaps);
+    sr.diagnosticKinds = res.diagnostics.size();
+    out.perSeed.push_back(std::move(sr));
+  }
+
+  out.cumulative = makeReport(plan, out.mergedBitmaps);
+  for (const auto& [key, rec] : merged) out.diagnostics.push_back(rec);
+  std::sort(out.diagnostics.begin(), out.diagnostics.end(),
+            [](const DiagRecord& a, const DiagRecord& b) {
+              return std::tie(a.firstStep, a.actorPath) <
+                     std::tie(b.firstStep, b.actorPath);
+            });
+  return out;
+}
+
+}  // namespace accmos

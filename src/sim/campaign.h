@@ -1,0 +1,50 @@
+// Test campaigns: run a model under many stimulus seeds and accumulate the
+// union of coverage — the workflow the paper motivates coverage collection
+// with ("validating that test cases are comprehensive enough to cover
+// different parts of models", §3.2.A).
+//
+// With Engine::AccMoS the model is generated and compiled once and the
+// binary re-run per seed, which is exactly how a generated simulator
+// amortizes over a test campaign.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/flat_model.h"
+#include "sim/options.h"
+#include "sim/result.h"
+#include "sim/testcase.h"
+
+namespace accmos {
+
+struct CampaignSeedResult {
+  uint64_t seed = 0;
+  uint64_t steps = 0;
+  double execSeconds = 0.0;
+  CoverageReport coverage;          // this seed alone
+  CoverageReport cumulative;        // union up to and including this seed
+  size_t diagnosticKinds = 0;       // distinct (actor, kind) events
+};
+
+struct CampaignResult {
+  std::vector<CampaignSeedResult> perSeed;
+  CoverageReport cumulative;
+  CoverageRecorder mergedBitmaps;
+  // All diagnostics observed across seeds (deduplicated per actor/kind/
+  // message; firstStep is the earliest across seeds, count the sum).
+  std::vector<DiagRecord> diagnostics;
+  double totalExecSeconds = 0.0;
+  double generateSeconds = 0.0;  // AccMoS one-off costs
+  double compileSeconds = 0.0;
+};
+
+// Runs `opt.maxSteps` steps per seed for each seed in `seeds`, using
+// `baseTests` for the port ranges/sequences (the seed field is overridden).
+// Only the instrumented engines (SSE, AccMoS) are supported; throws
+// ModelError otherwise or when coverage is disabled.
+CampaignResult runCampaign(const FlatModel& fm, const SimOptions& opt,
+                           const TestCaseSpec& baseTests,
+                           const std::vector<uint64_t>& seeds);
+
+}  // namespace accmos

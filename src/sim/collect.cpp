@@ -1,0 +1,28 @@
+#include "sim/collect.h"
+
+#include <algorithm>
+
+namespace accmos {
+
+std::vector<int> monitoredSignals(
+    const FlatModel& fm, const std::vector<std::string>& collectList) {
+  std::vector<int> out;
+  auto add = [&](int sig) {
+    if (std::find(out.begin(), out.end(), sig) == out.end()) {
+      out.push_back(sig);
+    }
+  };
+  for (const auto& fa : fm.actors) {
+    bool listed = std::find(collectList.begin(), collectList.end(), fa.path) !=
+                  collectList.end();
+    if (listed) {
+      for (int sig : fa.outputs) add(sig);
+    }
+    if (fa.type() == "Scope" || fa.type() == "Display") {
+      for (int sig : fa.inputs) add(sig);
+    }
+  }
+  return out;
+}
+
+}  // namespace accmos

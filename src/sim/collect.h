@@ -1,0 +1,17 @@
+// Shared definition of which signals the signal monitor records: the
+// outputs of actors on the user's collect list plus the inputs of
+// Scope/Display actors. Both the interpreter and the code generator use
+// this, so a collected signal means the same thing in every engine.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/flat_model.h"
+
+namespace accmos {
+
+std::vector<int> monitoredSignals(const FlatModel& fm,
+                                  const std::vector<std::string>& collectList);
+
+}  // namespace accmos

@@ -1,0 +1,48 @@
+// Simulation options shared by every engine (the AccMoS generated-code
+// path, the SSE interpreter, and the two fast modes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "diag/custom.h"
+
+namespace accmos {
+
+enum class Engine : uint8_t {
+  AccMoS,  // generate C++ -> compile -> execute (the paper's contribution)
+  SSE,     // interpreting engine (baseline)
+  SSEac,   // Accelerator-mode stand-in: bytecode + per-step host sync
+  SSErac,  // Rapid-Accelerator-mode stand-in: fused closures, root-I/O sync
+};
+
+std::string_view engineName(Engine e);
+
+struct SimOptions {
+  Engine engine = Engine::SSE;
+
+  // Stop conditions (whichever comes first).
+  uint64_t maxSteps = 1000;
+  double timeBudgetSec = 0.0;  // 0 = unlimited
+  bool stopOnDiagnostic = false;
+
+  // Instrumentation. The fast modes cannot collect coverage or diagnose
+  // (paper §2) — the facade rejects these combinations.
+  bool coverage = true;
+  bool diagnosis = true;
+
+  // Actor paths whose outputs are monitored (paper Fig. 3 outputCollect).
+  // Scope/Display actors are always monitored.
+  std::vector<std::string> collectList;
+
+  // Custom signal diagnoses (§3.2.B).
+  std::vector<CustomDiagnostic> customDiagnostics;
+
+  // AccMoS codegen knobs.
+  std::string optFlag = "-O3";   // compiler optimization level
+  bool keepGeneratedCode = false;
+  std::string workDir;           // empty = temp directory
+};
+
+}  // namespace accmos

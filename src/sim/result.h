@@ -1,0 +1,57 @@
+// Simulation results: coverage, diagnostics, monitored signals, outputs,
+// timing — the information AccMoS prints "at the conclusion of the
+// simulation" (paper §3.2-3.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cov/coverage.h"
+#include "diag/diagnosis.h"
+#include "ir/value.h"
+
+namespace accmos {
+
+// Signal-monitor record (paper Fig. 3): last value plus occurrence count.
+struct CollectedSignal {
+  std::string path;  // producer actor path + ":" + port
+  Value last;
+  uint64_t count = 0;
+};
+
+struct SimulationResult {
+  uint64_t stepsExecuted = 0;
+  bool stoppedEarly = false;  // StopSimulation actor or stop-on-diagnostic
+
+  // Wall-clock split. For in-process engines only execSeconds is set; the
+  // AccMoS path also reports generation and compilation time.
+  double execSeconds = 0.0;
+  double generateSeconds = 0.0;
+  double compileSeconds = 0.0;
+  double totalSeconds() const {
+    return execSeconds + generateSeconds + compileSeconds;
+  }
+
+  bool hasCoverage = false;
+  CoverageReport coverage;
+  CoverageRecorder bitmaps;
+
+  std::vector<DiagRecord> diagnostics;  // sorted by first step
+  std::optional<uint64_t> firstDiagStep() const {
+    if (diagnostics.empty()) return std::nullopt;
+    return diagnostics.front().firstStep;
+  }
+  const DiagRecord* findDiag(const std::string& pathSubstr,
+                             DiagKind kind) const;
+
+  std::vector<CollectedSignal> collected;
+
+  // Final value of each root outport (ordered by port index).
+  std::vector<Value> finalOutputs;
+
+  std::string summary() const;
+};
+
+}  // namespace accmos

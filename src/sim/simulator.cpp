@@ -1,0 +1,52 @@
+#include "sim/simulator.h"
+
+#include "actors/spec.h"
+#include "codegen/accmos_engine.h"
+#include "graph/flatten.h"
+#include "interp/compiled.h"
+#include "interp/interpreter.h"
+
+namespace accmos {
+
+Simulator::Simulator(const Model& model)
+    : fm_(flatten(model, Registry::instance())) {
+  validateFlatModel(fm_);
+}
+
+SimulationResult Simulator::run(const SimOptions& opt,
+                                const TestCaseSpec& tests) const {
+  bool fastMode = opt.engine == Engine::SSEac || opt.engine == Engine::SSErac;
+  if (fastMode) {
+    if (opt.coverage || opt.diagnosis) {
+      throw ModelError(std::string(engineName(opt.engine)) +
+                       " cannot perform error diagnosis or coverage "
+                       "collection; set coverage=false and diagnosis=false");
+    }
+    if (!opt.collectList.empty() || !opt.customDiagnostics.empty()) {
+      throw ModelError(std::string(engineName(opt.engine)) +
+                       " cannot monitor signals or run custom diagnoses");
+    }
+    if (opt.stopOnDiagnostic) {
+      throw ModelError(std::string(engineName(opt.engine)) +
+                       " cannot stop on diagnostics (none are produced)");
+    }
+  }
+  switch (opt.engine) {
+    case Engine::AccMoS:
+      return runAccMoS(fm_, opt, tests);
+    case Engine::SSE:
+      return runInterpreter(fm_, opt, tests);
+    case Engine::SSEac:
+      return runAccelerator(fm_, opt, tests);
+    case Engine::SSErac:
+      return runRapidAccelerator(fm_, opt, tests);
+  }
+  throw ModelError("unknown engine");
+}
+
+SimulationResult simulate(const Model& model, const SimOptions& opt,
+                          const TestCaseSpec& tests) {
+  return Simulator(model).run(opt, tests);
+}
+
+}  // namespace accmos

@@ -1,0 +1,36 @@
+// The user-facing simulation facade: pick an engine, provide test cases,
+// get a SimulationResult. This is the API the examples and benches use.
+#pragma once
+
+#include <memory>
+
+#include "graph/flat_model.h"
+#include "ir/model.h"
+#include "sim/options.h"
+#include "sim/result.h"
+#include "sim/testcase.h"
+
+namespace accmos {
+
+class Simulator {
+ public:
+  // Preprocesses (flattens, schedules, validates) the model once; the
+  // Model must outlive the Simulator.
+  explicit Simulator(const Model& model);
+
+  const FlatModel& flatModel() const { return fm_; }
+
+  // Runs one simulation. Throws ModelError when the options are invalid
+  // for the chosen engine — the fast modes cannot collect coverage,
+  // diagnose, monitor signals, or run custom diagnostics (paper §2).
+  SimulationResult run(const SimOptions& opt, const TestCaseSpec& tests) const;
+
+ private:
+  FlatModel fm_;
+};
+
+// One-shot convenience.
+SimulationResult simulate(const Model& model, const SimOptions& opt,
+                          const TestCaseSpec& tests);
+
+}  // namespace accmos

@@ -1,0 +1,64 @@
+#include "sim/testcase.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace accmos {
+
+TestCaseSpec TestCaseSpec::fromCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ModelError("cannot open test-case CSV '" + path + "'");
+  TestCaseSpec spec;
+  std::string line;
+  size_t columns = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string cell;
+    size_t col = 0;
+    while (std::getline(ls, cell, ',')) {
+      if (col >= spec.ports.size()) spec.ports.emplace_back();
+      spec.ports[col].sequence.push_back(std::strtod(cell.c_str(), nullptr));
+      ++col;
+    }
+    if (columns == 0) columns = col;
+    if (col != columns) {
+      throw ModelError("test-case CSV '" + path +
+                       "' has ragged rows (expected " +
+                       std::to_string(columns) + " columns)");
+    }
+  }
+  if (spec.ports.empty()) {
+    throw ModelError("test-case CSV '" + path + "' contains no data");
+  }
+  return spec;
+}
+
+StimulusStream::StimulusStream(const TestCaseSpec& spec, const FlatModel& fm) {
+  for (size_t k = 0; k < fm.rootInports.size(); ++k) {
+    PortState ps;
+    ps.signalId = fm.actor(fm.rootInports[k]).outputs[0];
+    ps.stim = spec.port(static_cast<int>(k));
+    ps.rng = SplitMix64(portSeed(spec.seed, static_cast<int>(k)));
+    ports_.push_back(std::move(ps));
+  }
+}
+
+void StimulusStream::fill(uint64_t step, std::vector<Value>& signals) {
+  for (auto& ps : ports_) {
+    Value& sig = signals[static_cast<size_t>(ps.signalId)];
+    for (int i = 0; i < sig.width(); ++i) {
+      double v;
+      if (!ps.stim.sequence.empty()) {
+        v = ps.stim.sequence[static_cast<size_t>(
+            step % ps.stim.sequence.size())];
+      } else {
+        v = ps.rng.nextUniform(ps.stim.min, ps.stim.max);
+      }
+      sig.store(i, v);
+    }
+  }
+}
+
+}  // namespace accmos

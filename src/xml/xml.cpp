@@ -1,0 +1,346 @@
+#include "xml/xml.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace accmos::xml {
+
+void Element::setAttr(const std::string& key, std::string value) {
+  for (auto& [k, v] : attrs_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  attrs_.emplace_back(key, std::move(value));
+}
+
+bool Element::hasAttr(const std::string& key) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+std::string Element::attr(const std::string& key,
+                          const std::string& def) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) return v;
+  }
+  return def;
+}
+
+int64_t Element::attrInt(const std::string& key, int64_t def) const {
+  if (!hasAttr(key)) return def;
+  return std::strtoll(attr(key).c_str(), nullptr, 10);
+}
+
+double Element::attrDouble(const std::string& key, double def) const {
+  if (!hasAttr(key)) return def;
+  return std::strtod(attr(key).c_str(), nullptr);
+}
+
+Element& Element::addChild(const std::string& name) {
+  children_.push_back(std::make_unique<Element>(name));
+  return *children_.back();
+}
+
+Element& Element::addChildOwned(std::unique_ptr<Element> child) {
+  children_.push_back(std::move(child));
+  return *children_.back();
+}
+
+const Element* Element::child(const std::string& name) const {
+  for (const auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::childrenNamed(
+    const std::string& name) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children_) {
+    if (c->name() == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : in_(input) {}
+
+  std::unique_ptr<Element> parseDocument() {
+    skipProlog();
+    auto root = parseElement();
+    skipMisc();
+    if (pos_ < in_.size()) fail("trailing content after root element");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(msg, line_, column());
+  }
+
+  int column() const {
+    int col = 1;
+    for (size_t p = lineStart_; p < pos_ && p < in_.size(); ++p) ++col;
+    return col;
+  }
+
+  char peek() const { return pos_ < in_.size() ? in_[pos_] : '\0'; }
+
+  char get() {
+    if (pos_ >= in_.size()) fail("unexpected end of input");
+    char c = in_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      lineStart_ = pos_;
+    }
+    return c;
+  }
+
+  bool startsWith(std::string_view s) const {
+    return in_.substr(pos_, s.size()) == s;
+  }
+
+  void expect(std::string_view s) {
+    if (!startsWith(s)) fail("expected '" + std::string(s) + "'");
+    for (size_t k = 0; k < s.size(); ++k) get();
+  }
+
+  void skipWs() {
+    while (pos_ < in_.size() &&
+           std::isspace(static_cast<unsigned char>(in_[pos_]))) {
+      get();
+    }
+  }
+
+  void skipComment() {
+    expect("<!--");
+    while (!startsWith("-->")) {
+      if (pos_ >= in_.size()) fail("unterminated comment");
+      get();
+    }
+    expect("-->");
+  }
+
+  void skipProlog() {
+    skipWs();
+    if (startsWith("<?xml")) {
+      while (!startsWith("?>")) {
+        if (pos_ >= in_.size()) fail("unterminated XML declaration");
+        get();
+      }
+      expect("?>");
+    }
+    skipMisc();
+  }
+
+  void skipMisc() {
+    for (;;) {
+      skipWs();
+      if (startsWith("<!--")) {
+        skipComment();
+      } else {
+        return;
+      }
+    }
+  }
+
+  static bool isNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  }
+  static bool isNameChar(char c) {
+    return isNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+           c == '-' || c == '.';
+  }
+
+  std::string parseName() {
+    if (!isNameStart(peek())) fail("expected a name");
+    std::string name;
+    while (pos_ < in_.size() && isNameChar(peek())) name.push_back(get());
+    return name;
+  }
+
+  std::string decodeEntity() {
+    expect("&");
+    std::string ent;
+    while (peek() != ';') {
+      if (pos_ >= in_.size() || ent.size() > 8) fail("bad entity reference");
+      ent.push_back(get());
+    }
+    expect(";");
+    if (ent == "amp") return "&";
+    if (ent == "lt") return "<";
+    if (ent == "gt") return ">";
+    if (ent == "quot") return "\"";
+    if (ent == "apos") return "'";
+    if (!ent.empty() && ent[0] == '#') {
+      long code = ent[1] == 'x' ? std::strtol(ent.c_str() + 2, nullptr, 16)
+                                : std::strtol(ent.c_str() + 1, nullptr, 10);
+      if (code <= 0 || code > 0x10FFFF) fail("bad character reference");
+      // Encode as UTF-8.
+      std::string out;
+      unsigned cp = static_cast<unsigned>(code);
+      if (cp < 0x80) {
+        out.push_back(static_cast<char>(cp));
+      } else if (cp < 0x800) {
+        out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      } else if (cp < 0x10000) {
+        out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      } else {
+        out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      }
+      return out;
+    }
+    fail("unknown entity '&" + ent + ";'");
+  }
+
+  std::string parseAttrValue() {
+    char quote = get();
+    if (quote != '"' && quote != '\'') fail("expected quoted attribute value");
+    std::string value;
+    while (peek() != quote) {
+      if (pos_ >= in_.size()) fail("unterminated attribute value");
+      if (peek() == '&') {
+        value += decodeEntity();
+      } else if (peek() == '<') {
+        fail("'<' in attribute value");
+      } else {
+        value.push_back(get());
+      }
+    }
+    get();  // closing quote
+    return value;
+  }
+
+  std::unique_ptr<Element> parseElement() {
+    expect("<");
+    auto elem = std::make_unique<Element>(parseName());
+    // Attributes.
+    for (;;) {
+      skipWs();
+      if (startsWith("/>")) {
+        expect("/>");
+        return elem;
+      }
+      if (peek() == '>') {
+        get();
+        break;
+      }
+      std::string key = parseName();
+      skipWs();
+      expect("=");
+      skipWs();
+      if (elem->hasAttr(key)) fail("duplicate attribute '" + key + "'");
+      elem->setAttr(key, parseAttrValue());
+    }
+    // Content.
+    std::string text;
+    for (;;) {
+      if (pos_ >= in_.size()) {
+        fail("unterminated element '" + elem->name() + "'");
+      }
+      if (startsWith("</")) {
+        expect("</");
+        std::string closing = parseName();
+        if (closing != elem->name()) {
+          fail("mismatched closing tag '" + closing + "' for '" +
+               elem->name() + "'");
+        }
+        skipWs();
+        expect(">");
+        elem->setText(std::move(text));
+        return elem;
+      }
+      if (startsWith("<!--")) {
+        skipComment();
+      } else if (peek() == '<') {
+        elem->addChildOwned(parseElement());
+      } else if (peek() == '&') {
+        text += decodeEntity();
+      } else {
+        text.push_back(get());
+      }
+    }
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  size_t lineStart_ = 0;
+};
+
+void writeIndent(std::ostringstream& os, int depth) {
+  for (int k = 0; k < depth; ++k) os << "  ";
+}
+
+bool textIsBlank(const std::string& s) {
+  for (char c : s) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+void serializeInto(const Element& e, std::ostringstream& os, int depth) {
+  writeIndent(os, depth);
+  os << '<' << e.name();
+  for (const auto& [k, v] : e.attrs()) {
+    os << ' ' << k << "=\"" << escape(v) << '"';
+  }
+  bool hasText = !textIsBlank(e.text());
+  if (e.children().empty() && !hasText) {
+    os << "/>\n";
+    return;
+  }
+  os << '>';
+  if (hasText) os << escape(e.text());
+  if (!e.children().empty()) {
+    os << '\n';
+    for (const auto& c : e.children()) serializeInto(*c, os, depth + 1);
+    writeIndent(os, depth);
+  }
+  os << "</" << e.name() << ">\n";
+}
+
+}  // namespace
+
+std::unique_ptr<Element> parse(std::string_view input) {
+  return Parser(input).parseDocument();
+}
+
+std::string serialize(const Element& root) {
+  std::ostringstream os;
+  os << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  serializeInto(root, os, 0);
+  return os.str();
+}
+
+std::string escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace accmos::xml

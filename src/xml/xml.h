@@ -1,0 +1,77 @@
+// Minimal dependency-free XML DOM used for the model file format.
+//
+// The paper's preprocessing step parses the Simulink model "into an XML
+// file" (§3.4); this module is the XML substrate for that path. It supports
+// the subset a model file needs: nested elements, attributes, text content,
+// comments, XML declarations, and the five standard entities.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace accmos::xml {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, int line, int column)
+      : std::runtime_error("XML parse error at " + std::to_string(line) + ":" +
+                           std::to_string(column) + ": " + what),
+        line(line),
+        column(column) {}
+  int line;
+  int column;
+};
+
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // Attributes.
+  void setAttr(const std::string& key, std::string value);
+  bool hasAttr(const std::string& key) const;
+  std::string attr(const std::string& key, const std::string& def = "") const;
+  int64_t attrInt(const std::string& key, int64_t def = 0) const;
+  double attrDouble(const std::string& key, double def = 0.0) const;
+  const std::vector<std::pair<std::string, std::string>>& attrs() const {
+    return attrs_;
+  }
+
+  // Children.
+  Element& addChild(const std::string& name);
+  Element& addChildOwned(std::unique_ptr<Element> child);
+  const std::vector<std::unique_ptr<Element>>& children() const {
+    return children_;
+  }
+  // First child with the given element name, or nullptr.
+  const Element* child(const std::string& name) const;
+  // All children with the given element name.
+  std::vector<const Element*> childrenNamed(const std::string& name) const;
+
+  // Concatenated text content directly inside this element.
+  const std::string& text() const { return text_; }
+  void setText(std::string text) { text_ = std::move(text); }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+  std::vector<std::unique_ptr<Element>> children_;
+  std::string text_;
+};
+
+// Parses a complete document; returns the root element.
+// Throws ParseError on malformed input.
+std::unique_ptr<Element> parse(std::string_view input);
+
+// Serializes with 2-space indentation and an XML declaration.
+std::string serialize(const Element& root);
+
+// Escapes &, <, >, ", ' for attribute/text contexts.
+std::string escape(std::string_view raw);
+
+}  // namespace accmos::xml

@@ -1,0 +1,63 @@
+// Helpers for single-actor semantics tests: build a tiny model around one
+// actor, drive it with explicit sequences, and read the output.
+#pragma once
+
+#include "test_util.h"
+
+namespace accmos::test {
+
+// Runs `steps` simulation steps with the given per-port sequences (cycled)
+// and returns the final value of Out1.
+inline Value evalSteps(Tiny& t, const std::vector<std::vector<double>>& seqs,
+                       uint64_t steps) {
+  TestCaseSpec tests;
+  for (const auto& s : seqs) {
+    PortStimulus ps;
+    ps.sequence = s;
+    tests.ports.push_back(ps);
+  }
+  auto res = runOn(t.model(), Engine::SSE, steps, tests);
+  return res.finalOutputs.at(0);
+}
+
+// One step with scalar inputs; returns the scalar output.
+inline Value evalOnce(Tiny& t, const std::vector<double>& inputs) {
+  std::vector<std::vector<double>> seqs;
+  for (double v : inputs) seqs.push_back({v});
+  return evalSteps(t, seqs, 1);
+}
+
+// Builds In1..InN -> Op -> Out1 with a config hook.
+inline Tiny unary(const std::string& type,
+                  const std::function<void(Actor&)>& cfg = nullptr,
+                  DataType inT = DataType::F64,
+                  DataType outT = DataType::F64) {
+  Tiny t;
+  t.inport("In1", 1, inT);
+  Actor& a = t.actor("Op", type);
+  a.setDtype(outT);
+  if (cfg) cfg(a);
+  t.outport("Out1", 1);
+  t.wire("In1", "Op");
+  t.wire("Op", "Out1");
+  return t;
+}
+
+inline Tiny binary(const std::string& type,
+                   const std::function<void(Actor&)>& cfg = nullptr,
+                   DataType inT = DataType::F64,
+                   DataType outT = DataType::F64) {
+  Tiny t;
+  t.inport("In1", 1, inT);
+  t.inport("In2", 2, inT);
+  Actor& a = t.actor("Op", type);
+  a.setDtype(outT);
+  if (cfg) cfg(a);
+  t.outport("Out1", 1);
+  t.wire("In1", "Op", 1);
+  t.wire("In2", "Op", 2);
+  t.wire("Op", "Out1");
+  return t;
+}
+
+}  // namespace accmos::test

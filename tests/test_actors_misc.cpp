@@ -1,0 +1,291 @@
+// Golden-value semantics tests for sources, sinks, discontinuities,
+// lookups and type conversion.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "actor_test_util.h"
+
+namespace accmos {
+namespace {
+
+using test::evalOnce;
+using test::evalSteps;
+using test::Tiny;
+using test::unary;
+
+// Source -> Out1 model (a dummy inport keeps the stimulus machinery alive).
+Tiny sourceModel(const std::string& type,
+                 const std::function<void(Actor&)>& cfg = nullptr,
+                 DataType outT = DataType::F64) {
+  Tiny t;
+  t.inport("In1", 1);
+  t.actor("T1", "Terminator");
+  t.wire("In1", "T1");
+  Actor& s = t.actor("Src", type);
+  s.setDtype(outT);
+  if (cfg) cfg(s);
+  t.outport("Out1", 1);
+  t.wire("Src", "Out1");
+  return t;
+}
+
+TEST(Sources, ConstantStepRampClock) {
+  Tiny tc = sourceModel("Constant",
+                        [](Actor& a) { a.params().setDouble("value", 3.25); });
+  EXPECT_EQ(evalSteps(tc, {{0}}, 1).f(0), 3.25);
+
+  Tiny ts = sourceModel("Step", [](Actor& a) {
+    a.params().setDouble("stepTime", 3.0);
+    a.params().setDouble("before", -1.0);
+    a.params().setDouble("after", 2.0);
+  });
+  EXPECT_EQ(evalSteps(ts, {{0}}, 3).f(0), -1.0);  // last step index 2 < 3
+  EXPECT_EQ(evalSteps(ts, {{0}}, 4).f(0), 2.0);   // step index 3 >= 3
+
+  Tiny tr = sourceModel("Ramp", [](Actor& a) {
+    a.params().setDouble("start", 2.0);
+    a.params().setDouble("slope", 0.5);
+    a.params().setDouble("initial", 1.0);
+  });
+  EXPECT_EQ(evalSteps(tr, {{0}}, 2).f(0), 1.0);   // before start
+  EXPECT_EQ(evalSteps(tr, {{0}}, 5).f(0), 2.0);   // 1 + 0.5*(4-2)
+
+  Tiny tk = sourceModel("Clock");
+  EXPECT_EQ(evalSteps(tk, {{0}}, 5).f(0), 4.0);   // last step index
+}
+
+TEST(Sources, PulseAndCounter) {
+  Tiny tp = sourceModel("PulseGenerator", [](Actor& a) {
+    a.params().setInt("period", 4);
+    a.params().setDouble("duty", 0.5);
+    a.params().setDouble("amplitude", 2.0);
+  });
+  // period 4, on for 2: steps 0,1 -> 2.0; steps 2,3 -> 0.
+  EXPECT_EQ(evalSteps(tp, {{0}}, 2).f(0), 2.0);
+  EXPECT_EQ(evalSteps(tp, {{0}}, 3).f(0), 0.0);
+
+  Tiny tcnt = sourceModel("Counter", [](Actor& a) {
+    a.params().setInt("max", 3);
+  }, DataType::I32);
+  EXPECT_EQ(evalSteps(tcnt, {{0}}, 1).i(0), 0);
+  EXPECT_EQ(evalSteps(tcnt, {{0}}, 3).i(0), 2);
+  EXPECT_EQ(evalSteps(tcnt, {{0}}, 4).i(0), 0);  // wraps at max
+}
+
+TEST(Sources, SineWaveAndGround) {
+  Tiny ts = sourceModel("SineWave", [](Actor& a) {
+    a.params().setDouble("amplitude", 2.0);
+    a.params().setDouble("freq", 0.25);  // period 4 steps
+    a.params().setDouble("bias", 1.0);
+  });
+  EXPECT_NEAR(evalSteps(ts, {{0}}, 1).f(0), 1.0, 1e-12);  // sin(0)+bias
+  EXPECT_NEAR(evalSteps(ts, {{0}}, 2).f(0), 3.0, 1e-12);  // sin(pi/2)*2+1
+
+  Tiny tg = sourceModel("Ground");
+  EXPECT_EQ(evalSteps(tg, {{0}}, 1).f(0), 0.0);
+}
+
+TEST(Sources, RandomNumberSeededAndBounded) {
+  Tiny t1 = sourceModel("RandomNumber", [](Actor& a) {
+    a.params().setInt("seed", 7);
+    a.params().setDouble("min", -2.0);
+    a.params().setDouble("max", 2.0);
+  });
+  Tiny t2 = sourceModel("RandomNumber", [](Actor& a) {
+    a.params().setInt("seed", 7);
+    a.params().setDouble("min", -2.0);
+    a.params().setDouble("max", 2.0);
+  });
+  auto a = evalSteps(t1, {{0}}, 37);
+  auto b = evalSteps(t2, {{0}}, 37);
+  EXPECT_EQ(a, b);  // same seed, same stream
+  EXPECT_GE(a.f(0), -2.0);
+  EXPECT_LT(a.f(0), 2.0);
+}
+
+TEST(Saturation, ClampsBothSides) {
+  Tiny t = unary("Saturation", [](Actor& a) {
+    a.params().setDouble("min", -1.0);
+    a.params().setDouble("max", 2.0);
+  });
+  EXPECT_EQ(evalOnce(t, {-5.0}).f(0), -1.0);
+  EXPECT_EQ(evalOnce(t, {0.5}).f(0), 0.5);
+  EXPECT_EQ(evalOnce(t, {9.0}).f(0), 2.0);
+  Tiny bad = unary("Saturation", [](Actor& a) {
+    a.params().setDouble("min", 2.0);
+    a.params().setDouble("max", 1.0);
+  });
+  test::expectInvalid(bad);
+}
+
+TEST(SaturationDynamic, RuntimeLimits) {
+  Tiny t;
+  t.inport("V", 1);
+  t.inport("Lo", 2);
+  t.inport("Hi", 3);
+  t.actor("Op", "SaturationDynamic");
+  t.outport("Out1", 1);
+  t.wire("V", "Op", 1);
+  t.wire("Lo", "Op", 2);
+  t.wire("Hi", "Op", 3);
+  t.wire("Op", "Out1");
+  EXPECT_EQ(evalOnce(t, {5.0, -1.0, 2.0}).f(0), 2.0);
+  EXPECT_EQ(evalOnce(t, {0.0, 1.0, 2.0}).f(0), 1.0);
+  EXPECT_EQ(evalOnce(t, {1.5, 1.0, 2.0}).f(0), 1.5);
+}
+
+TEST(DeadZone, ShiftsOutsideZone) {
+  Tiny t = unary("DeadZone", [](Actor& a) {
+    a.params().setDouble("start", -0.5);
+    a.params().setDouble("end", 0.5);
+  });
+  EXPECT_EQ(evalOnce(t, {0.2}).f(0), 0.0);
+  EXPECT_EQ(evalOnce(t, {1.5}).f(0), 1.0);
+  EXPECT_EQ(evalOnce(t, {-1.5}).f(0), -1.0);
+}
+
+TEST(Relay, HysteresisKeepsState) {
+  Tiny t = unary("Relay", [](Actor& a) {
+    a.params().setDouble("onPoint", 1.0);
+    a.params().setDouble("offPoint", -1.0);
+    a.params().setDouble("onValue", 10.0);
+    a.params().setDouble("offValue", -10.0);
+  });
+  // 2 -> on; 0 stays on (hysteresis); -2 -> off; 0 stays off.
+  EXPECT_EQ(evalSteps(t, {{2, 0}}, 2).f(0), 10.0);
+  EXPECT_EQ(evalSteps(t, {{2, 0, -2, 0}}, 4).f(0), -10.0);
+}
+
+TEST(Quantizer, RoundsToInterval) {
+  Tiny t = unary("Quantizer",
+                 [](Actor& a) { a.params().setDouble("interval", 0.25); });
+  EXPECT_EQ(evalOnce(t, {0.6}).f(0), 0.5);
+  EXPECT_EQ(evalOnce(t, {0.7}).f(0), 0.75);
+  Tiny bad = unary("Quantizer",
+                   [](Actor& a) { a.params().setDouble("interval", 0.0); });
+  test::expectInvalid(bad);
+}
+
+TEST(RateLimiter, BoundsSlewRate) {
+  Tiny t = unary("RateLimiter", [](Actor& a) {
+    a.params().setDouble("rising", 1.0);
+    a.params().setDouble("falling", -1.0);
+  });
+  // From 0, target 10: climbs 1 per step.
+  EXPECT_EQ(evalSteps(t, {{10}}, 3).f(0), 3.0);
+  // Falls at most 1 per step after reaching 3.
+  EXPECT_EQ(evalSteps(t, {{10, 10, 10, -10}}, 4).f(0), 2.0);
+}
+
+TEST(WrapToZero, ZeroesAboveThreshold) {
+  Tiny t = unary("WrapToZero",
+                 [](Actor& a) { a.params().setDouble("threshold", 5.0); });
+  EXPECT_EQ(evalOnce(t, {4.0}).f(0), 4.0);
+  EXPECT_EQ(evalOnce(t, {6.0}).f(0), 0.0);
+}
+
+TEST(Lookup1D, InterpolationAndClipping) {
+  Tiny t = unary("Lookup1D", [](Actor& a) {
+    a.params().set("x", "0,1,2");
+    a.params().set("y", "0,10,40");
+  });
+  EXPECT_EQ(evalOnce(t, {0.5}).f(0), 5.0);
+  EXPECT_EQ(evalOnce(t, {1.5}).f(0), 25.0);
+  // Clipping raises out-of-bounds.
+  TestCaseSpec tests;
+  PortStimulus p;
+  p.sequence = {-1.0};
+  tests.ports = {p};
+  SimOptions opt;
+  opt.engine = Engine::SSE;
+  opt.maxSteps = 1;
+  auto res = simulate(t.model(), opt, tests);
+  EXPECT_EQ(res.finalOutputs[0].f(0), 0.0);
+  EXPECT_NE(res.findDiag("T_Op", DiagKind::OutOfBounds), nullptr);
+}
+
+TEST(Lookup1D, NearestMethodAndValidation) {
+  Tiny t = unary("Lookup1D", [](Actor& a) {
+    a.params().set("x", "0,1");
+    a.params().set("y", "10,20");
+    a.params().set("method", "nearest");
+  });
+  EXPECT_EQ(evalOnce(t, {0.4}).f(0), 10.0);
+  EXPECT_EQ(evalOnce(t, {0.6}).f(0), 20.0);
+  Tiny bad = unary("Lookup1D", [](Actor& a) {
+    a.params().set("x", "0,0");  // not strictly increasing
+    a.params().set("y", "1,2");
+  });
+  test::expectInvalid(bad);
+}
+
+TEST(Lookup2D, BilinearInterpolation) {
+  Tiny t;
+  t.inport("X", 1);
+  t.inport("Y", 2);
+  Actor& lut = t.actor("Op", "Lookup2D");
+  lut.params().set("x", "0,1");
+  lut.params().set("y", "0,1");
+  lut.params().set("z", "0,1,2,3");  // z(0,0)=0 z(0,1)=1 z(1,0)=2 z(1,1)=3
+  t.outport("Out1", 1);
+  t.wire("X", "Op", 1);
+  t.wire("Y", "Op", 2);
+  t.wire("Op", "Out1");
+  EXPECT_EQ(evalOnce(t, {0.0, 0.0}).f(0), 0.0);
+  EXPECT_EQ(evalOnce(t, {1.0, 1.0}).f(0), 3.0);
+  EXPECT_EQ(evalOnce(t, {0.5, 0.5}).f(0), 1.5);
+}
+
+TEST(DataTypeConversion, RoundingWrapAndDiagnostics) {
+  Tiny t = unary("DataTypeConversion", nullptr, DataType::F64, DataType::I8);
+  EXPECT_EQ(evalOnce(t, {100.4}).i(0), 100);
+  TestCaseSpec tests;
+  PortStimulus p;
+  p.sequence = {200.0};  // wraps i8
+  tests.ports = {p};
+  SimOptions opt;
+  opt.engine = Engine::SSE;
+  opt.maxSteps = 1;
+  auto res = simulate(t.model(), opt, tests);
+  EXPECT_EQ(res.finalOutputs[0].i(0), -56);
+  EXPECT_NE(res.findDiag("T_Op", DiagKind::WrapOnOverflow), nullptr);
+  EXPECT_NE(res.findDiag("T_Op", DiagKind::Downcast), nullptr);
+}
+
+TEST(Assertion, FiresAndOptionallyStops) {
+  Tiny t;
+  t.inport("In1", 1, DataType::Bool);
+  Actor& a = t.actor("Op", "Assertion");
+  a.params().set("message", "guard violated");
+  a.params().set("stopOnFail", "true");
+  t.outport("Out1", 1);
+  t.wire("In1", "Op");
+  t.wire("In1", "Out1");
+  TestCaseSpec tests;
+  PortStimulus p;
+  p.sequence = {1.0, 1.0, 0.0, 1.0};
+  tests.ports = {p};
+  SimOptions opt;
+  opt.engine = Engine::SSE;
+  opt.maxSteps = 100;
+  auto res = simulate(t.model(), opt, tests);
+  EXPECT_TRUE(res.stoppedEarly);
+  EXPECT_EQ(res.stepsExecuted, 3u);  // stops after the failing step
+  const DiagRecord* d = res.findDiag("T_Op", DiagKind::AssertionFailed);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->message, "guard violated");
+}
+
+TEST(Terminator, SwallowsSignals) {
+  Tiny t;
+  t.inport("In1", 1);
+  t.actor("T1", "Terminator");
+  t.wire("In1", "T1");
+  auto res = test::runOn(t.model(), Engine::SSE, 5);
+  EXPECT_TRUE(res.finalOutputs.empty());
+  EXPECT_EQ(res.stepsExecuted, 5u);
+}
+
+}  // namespace
+}  // namespace accmos

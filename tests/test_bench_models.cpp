@@ -1,0 +1,132 @@
+// Tests for the synthetic benchmark suite: Table 1 counts, healthy-model
+// hygiene, case-study error injection, and the Figure 1 sample model.
+#include <gtest/gtest.h>
+
+#include "bench_models/sample_overflow.h"
+#include "bench_models/suite.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+
+namespace accmos {
+namespace {
+
+class BenchModelTest : public ::testing::TestWithParam<BenchModelInfo> {};
+
+TEST_P(BenchModelTest, MatchesTable1Counts) {
+  const BenchModelInfo& info = GetParam();
+  auto model = buildBenchmarkModel(info.name);
+  EXPECT_EQ(model->countActors(), info.actors) << info.name;
+  EXPECT_EQ(model->countSubsystems(), info.subsystems) << info.name;
+}
+
+TEST_P(BenchModelTest, FlattensAndValidates) {
+  const BenchModelInfo& info = GetParam();
+  auto model = buildBenchmarkModel(info.name);
+  Simulator sim(*model);
+  EXPECT_EQ(static_cast<int>(sim.flatModel().schedule.size()),
+            static_cast<int>(sim.flatModel().actors.size()));
+  EXPECT_FALSE(sim.flatModel().rootInports.empty());
+  EXPECT_FALSE(sim.flatModel().rootOutports.empty());
+}
+
+TEST_P(BenchModelTest, HealthyModelRunsDiagnosticFree) {
+  const BenchModelInfo& info = GetParam();
+  auto model = buildBenchmarkModel(info.name);
+  SimOptions opt;
+  opt.engine = Engine::SSE;
+  opt.maxSteps = 2000;
+  auto res = simulate(*model, opt, benchStimulus(info.name));
+  EXPECT_EQ(res.stepsExecuted, 2000u);
+  for (const auto& d : res.diagnostics) {
+    ADD_FAILURE() << info.name << " unexpectedly diagnosed "
+                  << diagKindName(d.kind) << " at " << d.actorPath
+                  << " (step " << d.firstStep << ", x" << d.count << ")";
+  }
+}
+
+TEST_P(BenchModelTest, DeterministicConstruction) {
+  const BenchModelInfo& info = GetParam();
+  auto a = buildBenchmarkModel(info.name);
+  auto b = buildBenchmarkModel(info.name);
+  SimOptions opt;
+  opt.engine = Engine::SSE;
+  opt.maxSteps = 200;
+  auto ra = simulate(*a, opt, benchStimulus(info.name));
+  auto rb = simulate(*b, opt, benchStimulus(info.name));
+  test::expectSameOutputs(ra, rb, info.name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, BenchModelTest, ::testing::ValuesIn(benchmarkSuite()),
+    [](const ::testing::TestParamInfo<BenchModelInfo>& info) {
+      return info.param.name;
+    });
+
+TEST(BenchSuite, HasTenModels) { EXPECT_EQ(benchmarkSuite().size(), 10u); }
+
+TEST(BenchSuite, UnknownNameThrows) {
+  EXPECT_THROW(buildBenchmarkModel("NOPE"), ModelError);
+}
+
+TEST(CsevCaseStudy, InjectedAccumulatorOverflowIsDetected) {
+  auto model = buildCsevWithInjectedErrors();
+  EXPECT_EQ(model->countActors(), 152);  // still Table 1 sized
+  SimOptions opt;
+  opt.engine = Engine::SSE;
+  opt.maxSteps = 200000;
+  opt.stopOnDiagnostic = false;
+  auto res = simulate(*model, opt, benchStimulus("CSEV"));
+  // Error 1: wrap on overflow at the add actor before `quantity`
+  // (paper: if(input1 > 0 && input2 > 0 && output < 0)).
+  const DiagRecord* wrap = res.findDiag("QuantityAdd", DiagKind::WrapOnOverflow);
+  ASSERT_NE(wrap, nullptr);
+  EXPECT_GT(wrap->firstStep, 1000u);  // accumulates before wrapping
+  // Error 2: the int16 charging-power product narrows int32 inputs —
+  // detected via the size mismatch right at the start of the simulation.
+  const DiagRecord* down = res.findDiag("ChargingPower", DiagKind::Downcast);
+  ASSERT_NE(down, nullptr);
+  EXPECT_EQ(down->firstStep, 0u);
+  const DiagRecord* pwrap =
+      res.findDiag("ChargingPower", DiagKind::WrapOnOverflow);
+  ASSERT_NE(pwrap, nullptr);
+  EXPECT_LT(pwrap->firstStep, 10u);
+}
+
+TEST(CsevCaseStudy, HealthyCsevHasNoInjectedErrors) {
+  auto model = buildBenchmarkModel("CSEV");
+  SimOptions opt;
+  opt.engine = Engine::SSE;
+  opt.maxSteps = 50000;
+  auto res = simulate(*model, opt, benchStimulus("CSEV"));
+  EXPECT_EQ(res.findDiag("QuantityAdd", DiagKind::WrapOnOverflow), nullptr);
+  EXPECT_EQ(res.findDiag("ChargingPower", DiagKind::Downcast), nullptr);
+}
+
+TEST(SampleModel, OverflowsAtTheSumActorEventually) {
+  auto model = sampleOverflowModel();
+  SimOptions opt;
+  opt.engine = Engine::SSE;
+  opt.maxSteps = 10000;
+  opt.stopOnDiagnostic = true;
+  TestCaseSpec tests = sampleOverflowStimulus();
+  tests.ports[0].max = 1e6;  // accelerate for the unit test
+  tests.ports[1].max = 1e6;
+  auto res = simulate(*model, opt, tests);
+  ASSERT_TRUE(res.firstDiagStep().has_value());
+  EXPECT_TRUE(res.stoppedEarly);
+  // The wrap shows up in the accumulators or the combining Sum.
+  EXPECT_FALSE(res.diagnostics.empty());
+  EXPECT_EQ(res.diagnostics.front().kind, DiagKind::WrapOnOverflow);
+}
+
+TEST(SampleModel, NoOverflowInShortRuns) {
+  auto model = sampleOverflowModel();
+  SimOptions opt;
+  opt.engine = Engine::SSE;
+  opt.maxSteps = 1000;
+  auto res = simulate(*model, opt, sampleOverflowStimulus());
+  EXPECT_TRUE(res.diagnostics.empty());
+}
+
+}  // namespace
+}  // namespace accmos

@@ -1,0 +1,156 @@
+// Tests for the multi-seed test-campaign API: coverage accumulation is
+// monotone, AccMoS and SSE campaigns agree seed-by-seed, and the compiled
+// simulator is reused across seeds via the runtime seed argument.
+#include <gtest/gtest.h>
+
+#include "bench_models/suite.h"
+#include "codegen/accmos_engine.h"
+#include "sim/campaign.h"
+#include "test_util.h"
+
+namespace accmos {
+namespace {
+
+using test::Tiny;
+
+TEST(Campaign, CumulativeCoverageIsMonotone) {
+  auto model = buildBenchmarkModel("CSEV");
+  Simulator sim(*model);
+  SimOptions opt;
+  opt.engine = Engine::SSE;
+  opt.maxSteps = 500;
+  auto cr = runCampaign(sim.flatModel(), opt, benchStimulus("CSEV"),
+                        {1, 2, 3, 4, 5});
+  ASSERT_EQ(cr.perSeed.size(), 5u);
+  for (size_t k = 1; k < cr.perSeed.size(); ++k) {
+    for (CovMetric m : kAllCovMetrics) {
+      EXPECT_GE(cr.perSeed[k].cumulative.of(m).covered,
+                cr.perSeed[k - 1].cumulative.of(m).covered)
+          << covMetricName(m) << " seed index " << k;
+      // Per-seed coverage never exceeds the cumulative union.
+      EXPECT_LE(cr.perSeed[k].coverage.of(m).covered,
+                cr.perSeed[k].cumulative.of(m).covered);
+    }
+  }
+  for (CovMetric m : kAllCovMetrics) {
+    EXPECT_EQ(cr.cumulative.of(m).covered,
+              cr.perSeed.back().cumulative.of(m).covered);
+  }
+}
+
+TEST(Campaign, MultipleSeedsReachMoreThanOne) {
+  auto model = buildBenchmarkModel("CPUT");
+  Simulator sim(*model);
+  SimOptions opt;
+  opt.engine = Engine::SSE;
+  opt.maxSteps = 300;
+  auto one = runCampaign(sim.flatModel(), opt, benchStimulus("CPUT"), {1});
+  auto many = runCampaign(sim.flatModel(), opt, benchStimulus("CPUT"),
+                          {1, 2, 3, 4, 5, 6, 7, 8});
+  int oneTotal = 0;
+  int manyTotal = 0;
+  for (CovMetric m : kAllCovMetrics) {
+    oneTotal += one.cumulative.of(m).covered;
+    manyTotal += many.cumulative.of(m).covered;
+  }
+  EXPECT_GT(manyTotal, oneTotal);
+}
+
+TEST(Campaign, AccMoSMatchesSseSeedBySeed) {
+  auto model = buildBenchmarkModel("SPV");
+  Simulator sim(*model);
+  std::vector<uint64_t> seeds = {11, 22, 33};
+  SimOptions sseOpt;
+  sseOpt.engine = Engine::SSE;
+  sseOpt.maxSteps = 400;
+  auto sse = runCampaign(sim.flatModel(), sseOpt, benchStimulus("SPV"), seeds);
+  SimOptions accOpt = sseOpt;
+  accOpt.engine = Engine::AccMoS;
+  auto acc = runCampaign(sim.flatModel(), accOpt, benchStimulus("SPV"), seeds);
+
+  ASSERT_EQ(sse.perSeed.size(), acc.perSeed.size());
+  for (size_t k = 0; k < seeds.size(); ++k) {
+    for (CovMetric m : kAllCovMetrics) {
+      EXPECT_EQ(sse.perSeed[k].coverage.of(m).covered,
+                acc.perSeed[k].coverage.of(m).covered)
+          << "seed " << seeds[k] << " " << covMetricName(m);
+    }
+  }
+  // The binary was compiled once for the whole AccMoS campaign.
+  EXPECT_GT(acc.compileSeconds, 0.0);
+  ASSERT_EQ(sse.diagnostics.size(), acc.diagnostics.size());
+  for (size_t k = 0; k < sse.diagnostics.size(); ++k) {
+    EXPECT_EQ(sse.diagnostics[k].actorPath, acc.diagnostics[k].actorPath);
+    EXPECT_EQ(sse.diagnostics[k].count, acc.diagnostics[k].count);
+    EXPECT_EQ(sse.diagnostics[k].firstStep, acc.diagnostics[k].firstStep);
+  }
+}
+
+TEST(Campaign, AggregatesDiagnosticsAcrossSeeds) {
+  // A wrap that fires in every seed: counts sum, firstStep is the minimum.
+  Tiny t;
+  t.inport("In1", 1, DataType::I8);
+  Actor& g = t.actor("G", "Gain");
+  g.params().setDouble("gain", 5.0);
+  g.setDtype(DataType::I8);
+  t.outport("Out1", 1);
+  t.wire("In1", "G");
+  t.wire("G", "Out1");
+  FlatModel fm = t.flatten();
+  SimOptions opt;
+  opt.engine = Engine::SSE;
+  opt.maxSteps = 100;
+  TestCaseSpec base;
+  base.defaultPort.min = 0.0;
+  base.defaultPort.max = 127.0;
+  auto cr = runCampaign(fm, opt, base, {1, 2});
+  ASSERT_FALSE(cr.diagnostics.empty());
+  const DiagRecord& rec = cr.diagnostics.front();
+  EXPECT_EQ(rec.kind, DiagKind::WrapOnOverflow);
+  EXPECT_GT(rec.count, 100u);  // summed across both seeds
+}
+
+TEST(Campaign, RejectsInvalidConfigurations) {
+  Tiny t;
+  t.inport("In1", 1);
+  t.actor("T1", "Terminator");
+  t.wire("In1", "T1");
+  FlatModel fm = t.flatten();
+  SimOptions opt;
+  opt.engine = Engine::SSErac;
+  opt.coverage = false;
+  opt.diagnosis = false;
+  EXPECT_THROW(runCampaign(fm, opt, TestCaseSpec{}, {1}), ModelError);
+  opt.engine = Engine::SSE;
+  opt.coverage = false;
+  EXPECT_THROW(runCampaign(fm, opt, TestCaseSpec{}, {1}), ModelError);
+  opt.coverage = true;
+  EXPECT_THROW(runCampaign(fm, opt, TestCaseSpec{}, {}), ModelError);
+}
+
+TEST(Campaign, SeedOverrideMatchesBakedSeed) {
+  // AccMoSEngine with a runtime seed override must equal a fresh engine
+  // built with that seed baked in.
+  Tiny t;
+  t.inport("In1", 1);
+  Actor& g = t.actor("G", "Gain");
+  g.params().setDouble("gain", 3.0);
+  t.outport("Out1", 1);
+  t.wire("In1", "G");
+  t.wire("G", "Out1");
+  TestCaseSpec s1;
+  s1.seed = 111;
+  TestCaseSpec s2;
+  s2.seed = 222;
+  auto baked = test::runOn(t.model(), Engine::AccMoS, 100, s2);
+  Simulator sim(t.model());
+  SimOptions opt;
+  opt.engine = Engine::AccMoS;
+  opt.maxSteps = 100;
+  AccMoSEngine engine(sim.flatModel(), opt, s1);
+  auto overridden = engine.run(0, -1.0, 222);
+  test::expectSameOutputs(baked, overridden, "seed override");
+}
+
+}  // namespace
+}  // namespace accmos

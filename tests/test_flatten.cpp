@@ -1,0 +1,302 @@
+// Unit tests for model preprocessing: flattening, signal resolution,
+// scheduling (topological execution order), data stores, enabled
+// subsystems, and all structural error cases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.h"
+
+namespace accmos {
+namespace {
+
+using test::Tiny;
+
+TEST(Flatten, PathsUseModelSubsystemActorConvention) {
+  Tiny t("MODEL");
+  t.inport("In1", 1);
+  Actor& sub = t.actor("SUBSYSTEM", "Subsystem");
+  System& inner = sub.makeSubsystem();
+  inner.addActor("In1", "Inport").params().setInt("port", 1);
+  inner.addActor("ADD2", "Gain");
+  inner.connect("In1", 1, "ADD2", 1);
+  Actor& op = inner.addActor("Out1", "Outport");
+  op.params().setInt("port", 1);
+  inner.connect("ADD2", 1, "Out1", 1);
+  t.outport("Out1", 1);
+  t.wire("In1", "SUBSYSTEM");
+  t.wire("SUBSYSTEM", "Out1");
+
+  FlatModel fm = t.flatten();
+  // The paper's index key: model file name + subsystem name + actor name.
+  EXPECT_NE(fm.findByPath("MODEL_SUBSYSTEM_ADD2"), nullptr);
+  // Proxies disappear; root ports remain.
+  EXPECT_EQ(fm.actors.size(), 3u);  // In1, ADD2, Out1
+}
+
+TEST(Flatten, ScheduleRespectsDataFlow) {
+  Tiny t;
+  t.inport("In1", 1);
+  t.actor("G1", "Gain");
+  t.actor("G2", "Gain");
+  t.actor("Add", "Sum").params().set("ops", "++");
+  t.outport("Out1", 1);
+  t.wire("In1", "G1");
+  t.wire("G1", "G2");
+  t.wire("G2", "Add", 1);
+  t.wire("In1", "Add", 2);
+  t.wire("Add", "Out1");
+  FlatModel fm = t.flatten();
+
+  auto pos = [&](const std::string& path) {
+    const FlatActor* fa = fm.findByPath(path);
+    EXPECT_NE(fa, nullptr) << path;
+    auto it = std::find(fm.schedule.begin(), fm.schedule.end(), fa->id);
+    return std::distance(fm.schedule.begin(), it);
+  };
+  EXPECT_LT(pos("T_In1"), pos("T_G1"));
+  EXPECT_LT(pos("T_G1"), pos("T_G2"));
+  EXPECT_LT(pos("T_G2"), pos("T_Add"));
+  EXPECT_LT(pos("T_Add"), pos("T_Out1"));
+}
+
+TEST(Flatten, DelayBreaksFeedbackLoop) {
+  Tiny t;
+  t.inport("In1", 1);
+  t.actor("Add", "Sum").params().set("ops", "++");
+  t.actor("D", "UnitDelay");
+  t.outport("Out1", 1);
+  t.wire("In1", "Add", 1);
+  t.wire("D", "Add", 2);
+  t.wire("Add", "D");
+  t.wire("Add", "Out1");
+  FlatModel fm = t.flatten();  // must not throw
+  EXPECT_EQ(fm.schedule.size(), 4u);
+  EXPECT_TRUE(fm.findByPath("T_D")->delayClass);
+}
+
+TEST(Flatten, AlgebraicLoopRejectedWithActorList) {
+  Tiny t;
+  t.inport("In1", 1);
+  t.actor("A", "Gain");
+  t.actor("B", "Sum").params().set("ops", "++");
+  t.outport("Out1", 1);
+  t.wire("In1", "B", 1);
+  t.wire("A", "B", 2);
+  t.wire("B", "A");
+  t.wire("B", "Out1");
+  try {
+    t.flatten();
+    FAIL() << "expected algebraic loop error";
+  } catch (const ModelError& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("algebraic loop"), std::string::npos);
+    EXPECT_NE(msg.find("T_A"), std::string::npos);
+    EXPECT_NE(msg.find("T_B"), std::string::npos);
+  }
+}
+
+TEST(Flatten, UnconnectedInputRejected) {
+  Tiny t;
+  t.inport("In1", 1);
+  t.actor("G", "Gain");
+  t.outport("Out1", 1);
+  t.wire("G", "Out1");
+  EXPECT_THROW(t.flatten(), ModelError);
+}
+
+TEST(Flatten, MultiplyDrivenInputRejected) {
+  Tiny t;
+  t.inport("In1", 1);
+  t.inport("In2", 2);
+  t.actor("G", "Gain");
+  t.outport("Out1", 1);
+  t.wire("In1", "G");
+  t.wire("In2", "G");
+  t.wire("G", "Out1");
+  EXPECT_THROW(t.flatten(), ModelError);
+}
+
+TEST(Flatten, UnknownActorTypeRejected) {
+  Tiny t;
+  t.inport("In1", 1);
+  t.actor("Z", "Bogus");
+  t.outport("Out1", 1);
+  t.wire("In1", "Z");
+  t.wire("Z", "Out1");
+  EXPECT_THROW(t.flatten(), ModelError);
+}
+
+TEST(Flatten, SubsystemMissingOutportRejected) {
+  Tiny t;
+  t.inport("In1", 1);
+  Actor& sub = t.actor("S", "Subsystem");
+  System& inner = sub.makeSubsystem();
+  inner.addActor("In1", "Inport").params().setInt("port", 1);
+  t.outport("Out1", 1);
+  t.wire("In1", "S");
+  t.wire("S", "Out1");
+  EXPECT_THROW(t.flatten(), ModelError);
+}
+
+TEST(Flatten, NestedSubsystemsResolveAcrossBoundaries) {
+  // root In -> S1(S2(Gain)) -> Out, testing two levels of proxy tracing.
+  Tiny t;
+  t.inport("In1", 1);
+  Actor& s1 = t.actor("S1", "Subsystem");
+  System& sys1 = s1.makeSubsystem();
+  sys1.addActor("In1", "Inport").params().setInt("port", 1);
+  Actor& s2 = sys1.addActor("S2", "Subsystem");
+  System& sys2 = s2.makeSubsystem();
+  sys2.addActor("In1", "Inport").params().setInt("port", 1);
+  sys2.addActor("G", "Gain");
+  sys2.connect("In1", 1, "G", 1);
+  sys2.addActor("Out1", "Outport").params().setInt("port", 1);
+  sys2.connect("G", 1, "Out1", 1);
+  sys1.connect("In1", 1, "S2", 1);
+  sys1.addActor("Out1", "Outport").params().setInt("port", 1);
+  sys1.connect("S2", 1, "Out1", 1);
+  t.outport("Out1", 1);
+  t.wire("In1", "S1");
+  t.wire("S1", "Out1");
+
+  FlatModel fm = t.flatten();
+  const FlatActor* g = fm.findByPath("T_S1_S2_G");
+  ASSERT_NE(g, nullptr);
+  // G's input resolves all the way to the root inport's signal.
+  const FlatActor* in = fm.findByPath("T_In1");
+  EXPECT_EQ(g->inputs[0], in->outputs[0]);
+  // The root outport reads G's output.
+  const FlatActor* out = fm.findByPath("T_Out1");
+  EXPECT_EQ(out->inputs[0], g->outputs[0]);
+}
+
+TEST(Flatten, EnabledSubsystemGatesInnerActors) {
+  Tiny t;
+  t.inport("In1", 1);
+  t.inport("En", 2);
+  Actor& cmp = t.actor("C", "CompareToConstant");
+  cmp.params().set("op", ">");
+  cmp.params().setDouble("value", 0.5);
+  Actor& sub = t.actor("S", "EnabledSubsystem");
+  System& inner = sub.makeSubsystem();
+  inner.addActor("In1", "Inport").params().setInt("port", 1);
+  inner.addActor("G", "Gain");
+  inner.connect("In1", 1, "G", 1);
+  inner.addActor("Out1", "Outport").params().setInt("port", 1);
+  inner.connect("G", 1, "Out1", 1);
+  t.outport("Out1", 1);
+  t.wire("En", "C");
+  t.wire("In1", "S", 1);
+  t.wire("C", "S", 2);  // enable port = data ports + 1
+  t.wire("S", "Out1");
+
+  FlatModel fm = t.flatten();
+  const FlatActor* g = fm.findByPath("T_S_G");
+  ASSERT_NE(g, nullptr);
+  const FlatActor* c = fm.findByPath("T_C");
+  EXPECT_EQ(g->enableSignal, c->outputs[0]);
+  // Ungated actors have no enable.
+  EXPECT_EQ(c->enableSignal, -1);
+}
+
+TEST(Flatten, NestedEnabledSubsystemsRejected) {
+  Tiny t;
+  t.inport("In1", 1);
+  Actor& outer = t.actor("S", "EnabledSubsystem");
+  System& sys = outer.makeSubsystem();
+  sys.addActor("In1", "Inport").params().setInt("port", 1);
+  Actor& innerSub = sys.addActor("S2", "EnabledSubsystem");
+  System& sys2 = innerSub.makeSubsystem();
+  sys2.addActor("In1", "Inport").params().setInt("port", 1);
+  sys2.addActor("Out1", "Outport").params().setInt("port", 1);
+  sys2.addActor("G", "Gain");
+  sys2.connect("In1", 1, "G", 1);
+  sys2.connect("G", 1, "Out1", 1);
+  sys.connect("In1", 1, "S2", 1);
+  sys.connect("In1", 1, "S2", 2);
+  sys.addActor("Out1", "Outport").params().setInt("port", 1);
+  sys.connect("S2", 1, "Out1", 1);
+  t.outport("Out1", 1);
+  t.wire("In1", "S", 1);
+  t.wire("In1", "S", 2);
+  t.wire("S", "Out1");
+  EXPECT_THROW(t.flatten(), ModelError);
+}
+
+TEST(Flatten, DataStoresCollectedAndBound) {
+  Tiny t;
+  t.inport("In1", 1, DataType::I32);
+  Actor& dsm = t.actor("Mem", "DataStoreMemory");
+  dsm.params().set("store", "quantity");
+  dsm.setDtype(DataType::I32);
+  dsm.params().setDouble("initial", 5.0);
+  Actor& rd = t.actor("Rd", "DataStoreRead");
+  rd.params().set("store", "quantity");
+  rd.setDtype(DataType::I32);
+  Actor& wr = t.actor("Wr", "DataStoreWrite");
+  wr.params().set("store", "quantity");
+  t.outport("Out1", 1);
+  t.wire("In1", "Wr");
+  t.wire("Rd", "Out1");
+
+  FlatModel fm = t.flatten();
+  ASSERT_EQ(fm.dataStores.size(), 1u);
+  EXPECT_EQ(fm.dataStores[0].name, "quantity");
+  EXPECT_EQ(fm.dataStores[0].type, DataType::I32);
+  EXPECT_EQ(fm.dataStores[0].initial, 5.0);
+  EXPECT_EQ(fm.findByPath("T_Rd")->dataStore, 0);
+  EXPECT_EQ(fm.findByPath("T_Wr")->dataStore, 0);
+}
+
+TEST(Flatten, UnknownDataStoreRejected) {
+  Tiny t;
+  t.inport("In1", 1);
+  Actor& rd = t.actor("Rd", "DataStoreRead");
+  rd.params().set("store", "nope");
+  t.outport("Out1", 1);
+  t.wire("Rd", "Out1");
+  EXPECT_THROW(t.flatten(), ModelError);
+}
+
+TEST(Flatten, DuplicateRootPortIndicesRejected) {
+  Tiny t;
+  t.inport("In1", 1);
+  t.inport("In2", 1);  // duplicate port index
+  t.actor("T1", "Terminator");
+  t.actor("T2", "Terminator");
+  t.wire("In1", "T1");
+  t.wire("In2", "T2");
+  EXPECT_THROW(t.flatten(), ModelError);
+}
+
+TEST(Flatten, RootPortsOrderedByIndexNotCreation) {
+  Tiny t;
+  t.inport("Second", 2);
+  t.inport("First", 1);
+  t.actor("Add", "Sum").params().set("ops", "++");
+  t.outport("Out1", 1);
+  t.wire("First", "Add", 1);
+  t.wire("Second", "Add", 2);
+  t.wire("Add", "Out1");
+  FlatModel fm = t.flatten();
+  ASSERT_EQ(fm.rootInports.size(), 2u);
+  EXPECT_EQ(fm.actor(fm.rootInports[0]).path, "T_First");
+  EXPECT_EQ(fm.actor(fm.rootInports[1]).path, "T_Second");
+}
+
+TEST(Flatten, WidthMismatchCaughtByValidation) {
+  Tiny t;
+  Actor& in = t.inport("In1", 1);
+  in.setWidth(4);
+  Actor& g = t.actor("G", "Gain");
+  g.setWidth(3);  // incompatible with 4-wide input
+  t.outport("Out1", 1);
+  t.wire("In1", "G");
+  t.wire("G", "Out1");
+  FlatModel fm = t.flatten();
+  EXPECT_THROW(validateFlatModel(fm), ModelError);
+}
+
+}  // namespace
+}  // namespace accmos

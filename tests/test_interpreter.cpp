@@ -1,0 +1,217 @@
+// Unit tests for the interpreting engine's behaviours: stop conditions,
+// time budgets, signal monitoring, custom diagnoses, enabled-subsystem
+// gating, and state reset between runs.
+#include <gtest/gtest.h>
+
+#include "interp/interpreter.h"
+#include "test_util.h"
+
+namespace accmos {
+namespace {
+
+using test::Tiny;
+
+TEST(Interpreter, StopSimulationActorStopsRun) {
+  Tiny t;
+  t.inport("In1", 1);
+  Actor& cmp = t.actor("C", "CompareToConstant");
+  cmp.params().set("op", ">");
+  cmp.params().setDouble("value", 0.95);
+  t.actor("Stop", "StopSimulation");
+  t.outport("Out1", 1);
+  t.wire("In1", "C");
+  t.wire("C", "Stop");
+  t.wire("In1", "Out1");
+  SimOptions opt;
+  opt.engine = Engine::SSE;
+  opt.maxSteps = 100000;
+  auto res = simulate(t.model(), opt, TestCaseSpec{});
+  EXPECT_TRUE(res.stoppedEarly);
+  EXPECT_LT(res.stepsExecuted, 1000u);  // P(>0.95) = 0.05 per step
+  EXPECT_GT(res.stepsExecuted, 0u);
+}
+
+TEST(Interpreter, StopOnDiagnosticStopsAtFirstEvent) {
+  Tiny t;
+  t.inport("In1", 1, DataType::I8);
+  Actor& g = t.actor("G", "Gain");
+  g.params().setDouble("gain", 3.0);
+  g.setDtype(DataType::I8);
+  t.outport("Out1", 1);
+  t.wire("In1", "G");
+  t.wire("G", "Out1");
+  TestCaseSpec tests;
+  tests.ports = {PortStimulus{0.0, 127.0, {}}};
+  SimOptions opt;
+  opt.engine = Engine::SSE;
+  opt.maxSteps = 100000;
+  opt.stopOnDiagnostic = true;
+  auto res = simulate(t.model(), opt, tests);
+  ASSERT_TRUE(res.firstDiagStep().has_value());
+  EXPECT_EQ(res.stepsExecuted, *res.firstDiagStep() + 1);
+  EXPECT_TRUE(res.stoppedEarly);
+}
+
+TEST(Interpreter, TimeBudgetBoundsRun) {
+  Tiny t;
+  t.inport("In1", 1);
+  t.actor("G", "Gain");
+  t.outport("Out1", 1);
+  t.wire("In1", "G");
+  t.wire("G", "Out1");
+  SimOptions opt;
+  opt.engine = Engine::SSE;
+  opt.maxSteps = ~uint64_t{0} >> 1;
+  opt.timeBudgetSec = 0.05;
+  auto res = simulate(t.model(), opt, TestCaseSpec{});
+  EXPECT_LT(res.execSeconds, 1.0);
+  EXPECT_GT(res.stepsExecuted, 1000u);
+}
+
+TEST(Interpreter, ScopeAutoCollectsItsInput) {
+  Tiny t;
+  t.inport("In1", 1);
+  Actor& g = t.actor("G", "Gain");
+  g.params().setDouble("gain", 2.0);
+  t.actor("Scope", "Scope");
+  t.outport("Out1", 1);
+  t.wire("In1", "G");
+  t.wire("G", "Scope");
+  t.wire("G", "Out1");
+  SimOptions opt;
+  opt.engine = Engine::SSE;
+  opt.maxSteps = 10;
+  auto res = simulate(t.model(), opt, TestCaseSpec{});
+  ASSERT_EQ(res.collected.size(), 1u);
+  EXPECT_EQ(res.collected[0].count, 10u);
+  // The collected value equals the final output (same signal).
+  EXPECT_EQ(res.collected[0].last, res.finalOutputs[0]);
+}
+
+TEST(Interpreter, CollectListMonitorsNamedActor) {
+  Tiny t;
+  t.inport("In1", 1);
+  Actor& g = t.actor("G", "Gain");
+  g.params().setDouble("gain", -1.0);
+  t.outport("Out1", 1);
+  t.wire("In1", "G");
+  t.wire("G", "Out1");
+  SimOptions opt;
+  opt.engine = Engine::SSE;
+  opt.maxSteps = 5;
+  opt.collectList = {"T_G"};
+  auto res = simulate(t.model(), opt, TestCaseSpec{});
+  ASSERT_EQ(res.collected.size(), 1u);
+  EXPECT_EQ(res.collected[0].path, "T_G:1");
+}
+
+TEST(Interpreter, CustomCallbackDiagnostic) {
+  Tiny t;
+  t.inport("In1", 1);
+  Actor& g = t.actor("G", "Gain");
+  g.params().setDouble("gain", 1.0);
+  t.outport("Out1", 1);
+  t.wire("In1", "G");
+  t.wire("G", "Out1");
+  SimOptions opt;
+  opt.engine = Engine::SSE;
+  opt.maxSteps = 100;
+  CustomDiagnostic cd;
+  cd.actorPath = "T_G";
+  cd.name = "every-tenth";
+  cd.kind = CustomDiagnostic::Kind::Expression;
+  cd.callback = [](double, double, uint64_t step) { return step % 10 == 9; };
+  opt.customDiagnostics = {cd};
+  auto res = simulate(t.model(), opt, TestCaseSpec{});
+  const DiagRecord* rec = res.findDiag("T_G", DiagKind::Custom);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->firstStep, 9u);
+  EXPECT_EQ(rec->count, 10u);
+  EXPECT_EQ(rec->message, "every-tenth");
+}
+
+TEST(Interpreter, UnknownCustomDiagnosticPathRejected) {
+  Tiny t;
+  t.inport("In1", 1);
+  t.actor("T1", "Terminator");
+  t.wire("In1", "T1");
+  SimOptions opt;
+  opt.engine = Engine::SSE;
+  opt.customDiagnostics = {rangeDiagnostic("T_Nope", "x", 0, 1)};
+  EXPECT_THROW(simulate(t.model(), opt, TestCaseSpec{}), ModelError);
+}
+
+TEST(Interpreter, EnabledSubsystemHoldsOutputsWhileDisabled) {
+  Tiny t;
+  t.inport("In1", 1);
+  t.inport("En", 2);
+  Actor& cmp = t.actor("C", "CompareToConstant");
+  cmp.params().set("op", ">");
+  cmp.params().setDouble("value", 0.5);
+  Actor& sub = t.actor("S", "EnabledSubsystem");
+  System& inner = sub.makeSubsystem();
+  inner.addActor("In1", "Inport").params().setInt("port", 1);
+  Actor& cnt = inner.addActor("Acc", "DiscreteIntegrator");
+  cnt.params().setDouble("gain", 1.0);
+  inner.connect("In1", 1, "Acc", 1);
+  inner.addActor("Out1", "Outport").params().setInt("port", 1);
+  inner.connect("Acc", 1, "Out1", 1);
+  t.outport("Out1", 1);
+  t.wire("En", "C");
+  t.wire("In1", "S", 1);
+  t.wire("C", "S", 2);
+  t.wire("S", "Out1");
+
+  // Enable alternates: disabled steps must not advance the integrator.
+  TestCaseSpec tests;
+  PortStimulus ones;
+  ones.sequence = {1.0};
+  PortStimulus gate;
+  gate.sequence = {1.0, 0.0};  // enabled on even steps only
+  tests.ports = {ones, gate};
+  SimOptions opt;
+  opt.engine = Engine::SSE;
+  opt.maxSteps = 10;  // 5 enabled steps
+  auto res = simulate(t.model(), opt, tests);
+  // Integrator advanced only on the 5 enabled steps; output is the state
+  // before the last update: 4.
+  EXPECT_EQ(res.finalOutputs[0].f(0), 4.0);
+}
+
+TEST(Interpreter, FreshStatePerRun) {
+  Tiny t;
+  t.inport("In1", 1);
+  Actor& acc = t.actor("Acc", "DiscreteIntegrator");
+  acc.params().setDouble("gain", 1.0);
+  t.outport("Out1", 1);
+  t.wire("In1", "Acc");
+  t.wire("Acc", "Out1");
+  FlatModel fm = t.flatten();
+  SimOptions opt;
+  opt.engine = Engine::SSE;
+  opt.maxSteps = 100;
+  Interpreter interp(fm, opt);
+  auto a = interp.run(TestCaseSpec{});
+  auto b = interp.run(TestCaseSpec{});
+  EXPECT_EQ(a.finalOutputs[0], b.finalOutputs[0]);
+  EXPECT_EQ(a.stepsExecuted, b.stepsExecuted);
+}
+
+TEST(Interpreter, SeedChangesStimulus) {
+  Tiny t;
+  t.inport("In1", 1);
+  t.actor("G", "Gain");
+  t.outport("Out1", 1);
+  t.wire("In1", "G");
+  t.wire("G", "Out1");
+  TestCaseSpec s1;
+  s1.seed = 1;
+  TestCaseSpec s2;
+  s2.seed = 2;
+  auto a = test::runOn(t.model(), Engine::SSE, 50, s1);
+  auto b = test::runOn(t.model(), Engine::SSE, 50, s2);
+  EXPECT_NE(a.finalOutputs[0], b.finalOutputs[0]);
+}
+
+}  // namespace
+}  // namespace accmos

@@ -1,0 +1,159 @@
+// Unit tests for test-case import: seeded random streams, explicit
+// sequences, CSV loading, and cross-run determinism.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "sim/testcase.h"
+#include "test_util.h"
+
+namespace accmos {
+namespace {
+
+using test::Tiny;
+
+FlatModel twoPortModel(std::unique_ptr<Tiny>& keep) {
+  keep = std::make_unique<Tiny>();
+  keep->inport("In1", 1);
+  Actor& i2 = keep->inport("In2", 2, DataType::I16);
+  i2.setWidth(2);
+  keep->actor("T1", "Terminator");
+  keep->actor("T2", "Terminator");
+  keep->wire("In1", "T1");
+  keep->wire("In2", "T2");
+  return keep->flatten();
+}
+
+TEST(Stimulus, DeterministicAcrossStreams) {
+  std::unique_ptr<Tiny> keep;
+  FlatModel fm = twoPortModel(keep);
+  TestCaseSpec spec;
+  spec.seed = 99;
+  StimulusStream a(spec, fm);
+  StimulusStream b(spec, fm);
+  std::vector<Value> s1;
+  std::vector<Value> s2;
+  for (const auto& sig : fm.signals) {
+    s1.emplace_back(sig.type, sig.width);
+    s2.emplace_back(sig.type, sig.width);
+  }
+  for (uint64_t step = 0; step < 200; ++step) {
+    a.fill(step, s1);
+    b.fill(step, s2);
+    for (size_t k = 0; k < s1.size(); ++k) EXPECT_EQ(s1[k], s2[k]);
+  }
+}
+
+TEST(Stimulus, PortRangesRespected) {
+  std::unique_ptr<Tiny> keep;
+  FlatModel fm = twoPortModel(keep);
+  TestCaseSpec spec;
+  spec.ports = {PortStimulus{-2.0, 3.0, {}}, PortStimulus{0.0, 100.0, {}}};
+  StimulusStream s(spec, fm);
+  std::vector<Value> sig;
+  for (const auto& si : fm.signals) sig.emplace_back(si.type, si.width);
+  int in1 = fm.actor(fm.rootInports[0]).outputs[0];
+  int in2 = fm.actor(fm.rootInports[1]).outputs[0];
+  for (uint64_t step = 0; step < 500; ++step) {
+    s.fill(step, sig);
+    double v = sig[static_cast<size_t>(in1)].f(0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+    for (int i = 0; i < 2; ++i) {
+      int64_t w = sig[static_cast<size_t>(in2)].i(i);
+      EXPECT_GE(w, 0);
+      EXPECT_LE(w, 100);
+    }
+  }
+}
+
+TEST(Stimulus, SequencesCycle) {
+  std::unique_ptr<Tiny> keep;
+  FlatModel fm = twoPortModel(keep);
+  TestCaseSpec spec;
+  PortStimulus seq;
+  seq.sequence = {1.0, 2.0, 3.0};
+  spec.ports = {seq};  // port 2 falls back to defaultPort
+  StimulusStream s(spec, fm);
+  std::vector<Value> sig;
+  for (const auto& si : fm.signals) sig.emplace_back(si.type, si.width);
+  int in1 = fm.actor(fm.rootInports[0]).outputs[0];
+  for (uint64_t step = 0; step < 9; ++step) {
+    s.fill(step, sig);
+    EXPECT_EQ(sig[static_cast<size_t>(in1)].f(0),
+              static_cast<double>(step % 3 + 1));
+  }
+}
+
+TEST(Stimulus, VectorPortsDrawPerElement) {
+  std::unique_ptr<Tiny> keep;
+  FlatModel fm = twoPortModel(keep);
+  TestCaseSpec spec;
+  spec.ports = {PortStimulus{}, PortStimulus{0.0, 1000.0, {}}};
+  StimulusStream s(spec, fm);
+  std::vector<Value> sig;
+  for (const auto& si : fm.signals) sig.emplace_back(si.type, si.width);
+  s.fill(0, sig);
+  int in2 = fm.actor(fm.rootInports[1]).outputs[0];
+  // The two elements come from the same stream but differ.
+  EXPECT_NE(sig[static_cast<size_t>(in2)].i(0),
+            sig[static_cast<size_t>(in2)].i(1));
+}
+
+TEST(Csv, LoadsColumnsAsSequences) {
+  std::string path = testing::TempDir() + "accmos_tc.csv";
+  {
+    std::ofstream f(path);
+    f << "# comment line\n";
+    f << "1.5,10\n";
+    f << "2.5,20\n";
+    f << "-3,30\n";
+  }
+  TestCaseSpec spec = TestCaseSpec::fromCsv(path);
+  ASSERT_EQ(spec.ports.size(), 2u);
+  ASSERT_EQ(spec.ports[0].sequence.size(), 3u);
+  EXPECT_EQ(spec.ports[0].sequence[1], 2.5);
+  EXPECT_EQ(spec.ports[1].sequence[2], 30.0);
+}
+
+TEST(Csv, RejectsMissingAndRaggedFiles) {
+  EXPECT_THROW(TestCaseSpec::fromCsv("/nonexistent.csv"), ModelError);
+  std::string path = testing::TempDir() + "accmos_ragged.csv";
+  {
+    std::ofstream f(path);
+    f << "1,2\n3\n";
+  }
+  EXPECT_THROW(TestCaseSpec::fromCsv(path), ModelError);
+  std::string empty = testing::TempDir() + "accmos_empty.csv";
+  {
+    std::ofstream f(empty);
+    f << "# nothing\n";
+  }
+  EXPECT_THROW(TestCaseSpec::fromCsv(empty), ModelError);
+}
+
+TEST(Csv, DrivesSimulationIdenticallyOnAllEngines) {
+  std::string path = testing::TempDir() + "accmos_drive.csv";
+  {
+    std::ofstream f(path);
+    for (int k = 0; k < 16; ++k) f << (k * 0.25 - 2.0) << "\n";
+  }
+  Tiny t;
+  t.inport("In1", 1);
+  Actor& g = t.actor("G", "Gain");
+  g.params().setDouble("gain", 2.0);
+  t.outport("Out1", 1);
+  t.wire("In1", "G");
+  t.wire("G", "Out1");
+  TestCaseSpec spec = TestCaseSpec::fromCsv(path);
+  auto sse = test::runOn(t.model(), Engine::SSE, 40, spec);
+  auto rac = test::runOn(t.model(), Engine::SSErac, 40, spec);
+  auto acc = test::runOn(t.model(), Engine::AccMoS, 40, spec);
+  test::expectSameOutputs(sse, rac, "csv rac");
+  test::expectSameOutputs(sse, acc, "csv accmos");
+  // Cycled: step 39 -> element 39 % 16 = 7 -> value -0.25, gained: -0.5.
+  EXPECT_EQ(sse.finalOutputs[0].f(0), 2.0 * (7 * 0.25 - 2.0));
+}
+
+}  // namespace
+}  // namespace accmos

@@ -1,0 +1,149 @@
+// Unit tests for the boxed Value used by the interpreting engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "ir/value.h"
+
+namespace accmos {
+namespace {
+
+TEST(Value, DefaultsAndResize) {
+  Value v;
+  EXPECT_EQ(v.type(), DataType::F64);
+  EXPECT_EQ(v.width(), 1);
+  EXPECT_EQ(v.f(0), 0.0);
+  v.resize(DataType::I16, 4);
+  EXPECT_EQ(v.width(), 4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v.i(i), 0);
+  EXPECT_THROW(Value(DataType::F64, 0), std::invalid_argument);
+}
+
+TEST(Value, ScalarConstructors) {
+  EXPECT_EQ(Value::scalarF(DataType::F64, 2.5).f(0), 2.5);
+  EXPECT_EQ(Value::scalarI(DataType::I32, -7).i(0), -7);
+  EXPECT_EQ(Value::scalarBool(true).i(0), 1);
+  EXPECT_EQ(Value::scalarBool(false).asBool(0), false);
+}
+
+TEST(Value, SetIWrapsAndFlags) {
+  Value v(DataType::I8, 1);
+  EXPECT_FALSE(v.setI(0, 100));
+  EXPECT_EQ(v.i(0), 100);
+  EXPECT_TRUE(v.setI(0, 200));  // wraps
+  EXPECT_EQ(v.i(0), -56);
+  Value u(DataType::U8, 1);
+  EXPECT_TRUE(u.setI(0, -1));
+  EXPECT_EQ(u.i(0), 255);
+}
+
+TEST(Value, F32NarrowingStorage) {
+  Value v(DataType::F32, 1);
+  v.setF(0, 0.1);  // not representable in f32
+  EXPECT_NE(v.f(0), 0.1);
+  EXPECT_EQ(v.f(0), static_cast<double>(0.1f));
+}
+
+TEST(Value, AsDoubleUnsigned) {
+  Value v(DataType::U64, 1);
+  v.setI(0, -1);  // pattern of 2^64-1
+  EXPECT_EQ(v.asDouble(0), 1.8446744073709552e19);
+  Value s(DataType::I64, 1);
+  s.setI(0, -1);
+  EXPECT_EQ(s.asDouble(0), -1.0);
+}
+
+TEST(Value, AsIntTruncatesFloats) {
+  Value v(DataType::F64, 1);
+  v.setF(0, 2.9);
+  EXPECT_EQ(v.asInt(0), 2);
+  v.setF(0, -2.9);
+  EXPECT_EQ(v.asInt(0), -2);
+  v.setF(0, std::nan(""));
+  EXPECT_EQ(v.asInt(0), 0);
+}
+
+TEST(Value, StoreFlagsForIntTargets) {
+  Value v(DataType::I32, 1);
+  auto fl = v.store(0, 7.0);
+  EXPECT_FALSE(fl.wrapped);
+  EXPECT_FALSE(fl.precisionLoss);
+  fl = v.store(0, 7.25);
+  EXPECT_TRUE(fl.precisionLoss);
+  EXPECT_EQ(v.i(0), 7);
+  fl = v.store(0, 3e9);
+  EXPECT_TRUE(fl.wrapped);
+}
+
+TEST(Value, StoreF32PrecisionFlag) {
+  Value v(DataType::F32, 1);
+  auto fl = v.store(0, 0.1);
+  EXPECT_TRUE(fl.precisionLoss);
+  fl = v.store(0, 0.5);  // exactly representable
+  EXPECT_FALSE(fl.precisionLoss);
+}
+
+TEST(Value, ConvertFromIntToInt) {
+  Value src(DataType::I32, 2);
+  src.setI(0, 70000);
+  src.setI(1, -5);
+  Value dst(DataType::I16, 2);
+  auto fl = dst.convertFrom(src);
+  EXPECT_TRUE(fl.wrapped);  // 70000 does not fit i16
+  EXPECT_EQ(dst.i(1), -5);
+}
+
+TEST(Value, ConvertFromIntToFloatPrecision) {
+  Value src(DataType::I64, 1);
+  src.setI(0, (int64_t{1} << 60) + 1);  // exceeds f64 mantissa
+  Value dst(DataType::F64, 1);
+  auto fl = dst.convertFrom(src);
+  EXPECT_TRUE(fl.precisionLoss);
+
+  Value small(DataType::I32, 1);
+  small.setI(0, 123456);
+  Value dst2(DataType::F64, 1);
+  EXPECT_FALSE(dst2.convertFrom(small).precisionLoss);
+
+  // i32 -> f32 loses bits past 2^24.
+  Value big32(DataType::I32, 1);
+  big32.setI(0, (1 << 24) + 1);
+  Value dstF32(DataType::F32, 1);
+  EXPECT_TRUE(dstF32.convertFrom(big32).precisionLoss);
+}
+
+TEST(Value, ConvertFloatToIntRounds) {
+  Value src(DataType::F64, 1);
+  src.setF(0, 2.6);
+  Value dst(DataType::I32, 1);
+  auto fl = dst.convertFrom(src);
+  EXPECT_EQ(dst.i(0), 3);  // round-to-nearest (Simulink default)
+  EXPECT_TRUE(fl.precisionLoss);
+}
+
+TEST(Value, EqualityIsBitExact) {
+  Value a(DataType::F64, 2);
+  Value b(DataType::F64, 2);
+  a.setF(0, 1.0);
+  b.setF(0, 1.0);
+  EXPECT_EQ(a, b);
+  b.setF(1, 1e-300);
+  EXPECT_NE(a, b);
+  Value c(DataType::F32, 2);
+  EXPECT_NE(a, c);  // type matters
+}
+
+TEST(Value, ToStringFormats) {
+  Value v(DataType::I8, 3);
+  v.setI(0, -1);
+  v.setI(1, 0);
+  v.setI(2, 5);
+  EXPECT_EQ(v.toString(), "i8[-1 0 5]");
+  Value u(DataType::U64, 1);
+  u.setI(0, -1);
+  EXPECT_EQ(u.toString(), "u64[18446744073709551615]");
+}
+
+}  // namespace
+}  // namespace accmos

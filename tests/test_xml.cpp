@@ -1,0 +1,97 @@
+// Unit tests for the XML substrate.
+#include <gtest/gtest.h>
+
+#include "xml/xml.h"
+
+namespace accmos::xml {
+namespace {
+
+TEST(Xml, ParsesNestedElementsAndAttributes) {
+  auto doc = parse(R"(<?xml version="1.0"?>
+    <model name="M" version="2">
+      <system name="root">
+        <actor name="A" type="Sum"/>
+        <actor name="B" type="Gain"><param name="gain" value="1.5"/></actor>
+      </system>
+    </model>)");
+  EXPECT_EQ(doc->name(), "model");
+  EXPECT_EQ(doc->attr("name"), "M");
+  EXPECT_EQ(doc->attrInt("version"), 2);
+  const Element* sys = doc->child("system");
+  ASSERT_NE(sys, nullptr);
+  auto actors = sys->childrenNamed("actor");
+  ASSERT_EQ(actors.size(), 2u);
+  EXPECT_EQ(actors[1]->child("param")->attrDouble("value"), 1.5);
+}
+
+TEST(Xml, EntityDecoding) {
+  auto doc = parse(R"(<a t="&lt;&gt;&amp;&quot;&apos;">x &amp; y</a>)");
+  EXPECT_EQ(doc->attr("t"), "<>&\"'");
+  EXPECT_EQ(doc->text(), "x & y");
+}
+
+TEST(Xml, NumericCharacterReferences) {
+  auto doc = parse("<a>&#65;&#x42;</a>");
+  EXPECT_EQ(doc->text(), "AB");
+}
+
+TEST(Xml, CommentsSkipped) {
+  auto doc = parse("<!-- head --><a><!-- inner --><b/></a><!-- tail -->");
+  EXPECT_NE(doc->child("b"), nullptr);
+}
+
+TEST(Xml, SelfClosingAndWhitespace) {
+  auto doc = parse("<a>\n  <b  x = '1' />\n</a>");
+  EXPECT_EQ(doc->child("b")->attr("x"), "1");
+}
+
+TEST(Xml, ErrorsCarryLocation) {
+  try {
+    parse("<a>\n  <b></c>\n</a>");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line, 2);
+    EXPECT_NE(std::string(e.what()).find("mismatched"), std::string::npos);
+  }
+}
+
+TEST(Xml, RejectsMalformedInput) {
+  EXPECT_THROW(parse(""), ParseError);
+  EXPECT_THROW(parse("<a>"), ParseError);
+  EXPECT_THROW(parse("<a b=c/>"), ParseError);
+  EXPECT_THROW(parse("<a><a/>"), ParseError);
+  EXPECT_THROW(parse("<a/><b/>"), ParseError);
+  EXPECT_THROW(parse("<a b='1' b='2'/>"), ParseError);
+  EXPECT_THROW(parse("<a>&bogus;</a>"), ParseError);
+  EXPECT_THROW(parse("<1tag/>"), ParseError);
+}
+
+TEST(Xml, SerializeRoundTrip) {
+  Element root("model");
+  root.setAttr("name", "X<&>\"'");
+  Element& sys = root.addChild("system");
+  sys.setAttr("name", "root");
+  sys.addChild("actor").setAttr("type", "Sum");
+  std::string text = serialize(root);
+  auto back = parse(text);
+  EXPECT_EQ(back->attr("name"), "X<&>\"'");
+  EXPECT_EQ(back->child("system")->child("actor")->attr("type"), "Sum");
+}
+
+TEST(Xml, EscapeCoversSpecials) {
+  EXPECT_EQ(escape("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+  EXPECT_EQ(escape("plain"), "plain");
+}
+
+TEST(Xml, SetAttrOverwrites) {
+  Element e("a");
+  e.setAttr("k", "1");
+  e.setAttr("k", "2");
+  EXPECT_EQ(e.attr("k"), "2");
+  EXPECT_EQ(e.attrs().size(), 1u);
+  EXPECT_EQ(e.attr("missing", "def"), "def");
+  EXPECT_FALSE(e.hasAttr("missing"));
+}
+
+}  // namespace
+}  // namespace accmos::xml

@@ -1,0 +1,320 @@
+// The accmos command-line tool: the packaged entry point of the pipeline.
+//
+//   accmos info <model.xml>                     model inventory
+//   accmos gen <model.xml> [-o out.cpp]         emit simulation code
+//   accmos run <model.xml> [options]            simulate and report
+//   accmos campaign <model.xml> [--seeds=N] [--steps=M] [--engine=E]
+//                                               multi-seed coverage campaign
+//   accmos export-suite <dir>                   write the benchmark models
+//
+// run options:
+//   --engine=accmos|sse|sseac|sserac   (default accmos)
+//   --steps=N                          (default 100000)
+//   --budget=SECONDS                   wall-clock budget (0 = unlimited)
+//   --tests=FILE.csv                   explicit test vectors
+//   --seed=N                           random-stimulus seed (default 1)
+//   --collect=ACTORPATH                monitor an actor (repeatable)
+//   --no-coverage --no-diagnosis       disable instrumentation
+//   --stop-on-diagnostic               halt at the first error
+//   --opt=-O2                          compiler flag for generated code
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_models/sample_overflow.h"
+#include "bench_models/suite.h"
+#include "codegen/accmos_engine.h"
+#include "sim/campaign.h"
+#include "parser/model_io.h"
+#include "sim/simulator.h"
+
+namespace accmos::cli {
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: accmos <info|gen|run|export-suite> <args>\n"
+               "  accmos info <model.xml>\n"
+               "  accmos gen <model.xml> [-o out.cpp]\n"
+               "  accmos run <model.xml> [--engine=E] [--steps=N] "
+               "[--budget=S]\n"
+               "             [--tests=F.csv] [--seed=N] [--collect=PATH]...\n"
+               "             [--no-coverage] [--no-diagnosis] "
+               "[--stop-on-diagnostic] [--opt=-O3]\n"
+               "  accmos campaign <model.xml> [--seeds=N] [--steps=M] "
+               "[--engine=accmos|sse]\n"
+               "  accmos export-suite <directory>\n");
+  return 2;
+}
+
+bool flagValue(const std::string& arg, const char* name, std::string* out) {
+  std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+int cmdInfo(const std::string& path) {
+  auto model = readModelFromFile(path);
+  Simulator sim(*model);
+  const FlatModel& fm = sim.flatModel();
+  std::printf("model        : %s\n", model->name().c_str());
+  std::printf("actors       : %d (flattened: %zu)\n", model->countActors(),
+              fm.actors.size());
+  std::printf("subsystems   : %d\n", model->countSubsystems());
+  std::printf("signals      : %zu\n", fm.signals.size());
+  std::printf("inports      : %zu\n", fm.rootInports.size());
+  std::printf("outports     : %zu\n", fm.rootOutports.size());
+  std::printf("data stores  : %zu\n", fm.dataStores.size());
+  // Type histogram.
+  std::vector<std::pair<std::string, int>> hist;
+  for (const auto& fa : fm.actors) {
+    bool found = false;
+    for (auto& [ty, n] : hist) {
+      if (ty == fa.type()) {
+        ++n;
+        found = true;
+      }
+    }
+    if (!found) hist.emplace_back(fa.type(), 1);
+  }
+  std::sort(hist.begin(), hist.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::printf("actor types  :");
+  for (const auto& [ty, n] : hist) std::printf(" %s:%d", ty.c_str(), n);
+  std::printf("\n");
+  return 0;
+}
+
+int cmdGen(const std::string& path, const std::string& outPath) {
+  auto model = readModelFromFile(path);
+  Simulator sim(*model);
+  SimOptions opt;
+  opt.engine = Engine::AccMoS;
+  AccMoSEngine engine(sim.flatModel(), opt, TestCaseSpec{});
+  if (outPath.empty() || outPath == "-") {
+    std::fputs(engine.generatedSource().c_str(), stdout);
+  } else {
+    std::ofstream out(outPath);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", outPath.c_str());
+      return 1;
+    }
+    out << engine.generatedSource();
+    std::printf("wrote %s (%zu bytes)\n", outPath.c_str(),
+                engine.generatedSource().size());
+  }
+  return 0;
+}
+
+int cmdRun(const std::string& path, const std::vector<std::string>& args) {
+  SimOptions opt;
+  opt.engine = Engine::AccMoS;
+  opt.maxSteps = 100000;
+  TestCaseSpec tests;
+  std::string v;
+  for (const auto& arg : args) {
+    if (flagValue(arg, "--engine", &v)) {
+      if (v == "accmos") opt.engine = Engine::AccMoS;
+      else if (v == "sse") opt.engine = Engine::SSE;
+      else if (v == "sseac") opt.engine = Engine::SSEac;
+      else if (v == "sserac") opt.engine = Engine::SSErac;
+      else {
+        std::fprintf(stderr, "unknown engine '%s'\n", v.c_str());
+        return 2;
+      }
+    } else if (flagValue(arg, "--steps", &v)) {
+      opt.maxSteps = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flagValue(arg, "--budget", &v)) {
+      opt.timeBudgetSec = std::strtod(v.c_str(), nullptr);
+    } else if (flagValue(arg, "--tests", &v)) {
+      tests = TestCaseSpec::fromCsv(v);
+    } else if (flagValue(arg, "--seed", &v)) {
+      tests.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flagValue(arg, "--collect", &v)) {
+      opt.collectList.push_back(v);
+    } else if (flagValue(arg, "--opt", &v)) {
+      opt.optFlag = v;
+    } else if (arg == "--no-coverage") {
+      opt.coverage = false;
+    } else if (arg == "--no-diagnosis") {
+      opt.diagnosis = false;
+    } else if (arg == "--stop-on-diagnostic") {
+      opt.stopOnDiagnostic = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (opt.engine == Engine::SSEac || opt.engine == Engine::SSErac) {
+    opt.coverage = false;
+    opt.diagnosis = false;
+  }
+
+  LoadedModel loaded = loadModelFromFile(path);
+  // An embedded <stimulus> is the default; --tests/--seed override it.
+  bool explicitTests = false;
+  for (const auto& arg : args) {
+    explicitTests = explicitTests || arg.rfind("--tests=", 0) == 0 ||
+                    arg.rfind("--seed=", 0) == 0;
+  }
+  if (loaded.stimulus && !explicitTests) tests = *loaded.stimulus;
+  auto res = simulate(*loaded.model, opt, tests);
+
+  std::printf("engine   : %s\n",
+              std::string(engineName(opt.engine)).c_str());
+  std::printf("steps    : %llu%s\n",
+              static_cast<unsigned long long>(res.stepsExecuted),
+              res.stoppedEarly ? " (stopped early)" : "");
+  std::printf("exec     : %.4fs (%.1f ns/step)\n", res.execSeconds,
+              res.stepsExecuted > 0
+                  ? 1e9 * res.execSeconds /
+                        static_cast<double>(res.stepsExecuted)
+                  : 0.0);
+  if (res.generateSeconds > 0.0 || res.compileSeconds > 0.0) {
+    std::printf("codegen  : %.3fs generate + %.3fs compile\n",
+                res.generateSeconds, res.compileSeconds);
+  }
+  if (res.hasCoverage) {
+    std::printf("coverage : %s\n", res.coverage.toString().c_str());
+  }
+  for (size_t k = 0; k < res.finalOutputs.size(); ++k) {
+    std::printf("out[%zu]   : %s\n", k + 1,
+                res.finalOutputs[k].toString().c_str());
+  }
+  for (const auto& c : res.collected) {
+    std::printf("monitor  : %s last=%s x%llu\n", c.path.c_str(),
+                c.last.toString().c_str(),
+                static_cast<unsigned long long>(c.count));
+  }
+  if (res.diagnostics.empty()) {
+    std::printf("diagnosis: clean\n");
+  }
+  for (const auto& d : res.diagnostics) {
+    std::printf("diagnosis: [%s] %s first@%llu x%llu %s\n",
+                std::string(diagKindName(d.kind)).c_str(),
+                d.actorPath.c_str(),
+                static_cast<unsigned long long>(d.firstStep),
+                static_cast<unsigned long long>(d.count),
+                d.message.c_str());
+  }
+  return res.diagnostics.empty() ? 0 : 3;
+}
+
+int cmdCampaign(const std::string& path,
+                const std::vector<std::string>& args) {
+  SimOptions opt;
+  opt.engine = Engine::AccMoS;
+  opt.maxSteps = 100000;
+  int numSeeds = 8;
+  std::string v;
+  for (const auto& arg : args) {
+    if (flagValue(arg, "--seeds", &v)) {
+      numSeeds = static_cast<int>(std::strtol(v.c_str(), nullptr, 10));
+    } else if (flagValue(arg, "--steps", &v)) {
+      opt.maxSteps = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flagValue(arg, "--engine", &v)) {
+      if (v == "accmos") opt.engine = Engine::AccMoS;
+      else if (v == "sse") opt.engine = Engine::SSE;
+      else {
+        std::fprintf(stderr, "campaign engine must be accmos or sse\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  LoadedModel loaded = loadModelFromFile(path);
+  TestCaseSpec base = loaded.stimulus.value_or(TestCaseSpec{});
+  Simulator sim(*loaded.model);
+  std::vector<uint64_t> seeds;
+  for (int k = 0; k < numSeeds; ++k) seeds.push_back(1000 + 37 * k);
+
+  CampaignResult cr = runCampaign(sim.flatModel(), opt, base, seeds);
+  std::printf("campaign : %d seeds x %llu steps on %s\n", numSeeds,
+              static_cast<unsigned long long>(opt.maxSteps),
+              std::string(engineName(opt.engine)).c_str());
+  std::printf("%-10s %8s %8s %8s %8s   (cumulative)\n", "seed", "actor",
+              "cond", "dec", "mcdc");
+  for (const auto& sr : cr.perSeed) {
+    std::printf("%-10llu %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+                static_cast<unsigned long long>(sr.seed),
+                sr.cumulative.of(CovMetric::Actor).percent(),
+                sr.cumulative.of(CovMetric::Condition).percent(),
+                sr.cumulative.of(CovMetric::Decision).percent(),
+                sr.cumulative.of(CovMetric::MCDC).percent());
+  }
+  std::printf("exec     : %.3fs total", cr.totalExecSeconds);
+  if (cr.compileSeconds > 0.0) {
+    std::printf(" (+%.3fs one-off generate+compile)", 
+                cr.generateSeconds + cr.compileSeconds);
+  }
+  std::printf("\ndiagnosis: %zu distinct event(s) across the campaign\n",
+              cr.diagnostics.size());
+  for (const auto& d : cr.diagnostics) {
+    std::printf("  [%s] %s earliest@%llu x%llu\n",
+                std::string(diagKindName(d.kind)).c_str(),
+                d.actorPath.c_str(),
+                static_cast<unsigned long long>(d.firstStep),
+                static_cast<unsigned long long>(d.count));
+  }
+  return 0;
+}
+
+int cmdExportSuite(const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  for (const auto& info : benchmarkSuite()) {
+    auto model = buildBenchmarkModel(info.name);
+    std::string path = dir + "/" + info.name + ".xml";
+    TestCaseSpec stim = benchStimulus(info.name);
+    writeModelToFile(*model, path, &stim);
+    std::printf("wrote %-24s (%d actors, %d subsystems)\n", path.c_str(),
+                info.actors, info.subsystems);
+  }
+  auto sample = sampleOverflowModel();
+  TestCaseSpec sampleStim = sampleOverflowStimulus();
+  writeModelToFile(*sample, dir + "/Sample.xml", &sampleStim);
+  auto injected = buildCsevWithInjectedErrors();
+  TestCaseSpec csevStim = benchStimulus("CSEV");
+  writeModelToFile(*injected, dir + "/CSEV_injected.xml", &csevStim);
+  std::printf("wrote %s and %s\n", (dir + "/Sample.xml").c_str(),
+              (dir + "/CSEV_injected.xml").c_str());
+  return 0;
+}
+
+int mainImpl(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string cmd = argv[1];
+  try {
+    if (cmd == "info" && argc == 3) return cmdInfo(argv[2]);
+    if (cmd == "gen" && argc >= 3) {
+      std::string out;
+      for (int k = 3; k < argc; ++k) {
+        if (std::strcmp(argv[k], "-o") == 0 && k + 1 < argc) out = argv[k + 1];
+      }
+      return cmdGen(argv[2], out);
+    }
+    if (cmd == "run" && argc >= 3) {
+      std::vector<std::string> args(argv + 3, argv + argc);
+      return cmdRun(argv[2], args);
+    }
+    if (cmd == "campaign" && argc >= 3) {
+      std::vector<std::string> args(argv + 3, argv + argc);
+      return cmdCampaign(argv[2], args);
+    }
+    if (cmd == "export-suite" && argc == 3) return cmdExportSuite(argv[2]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "accmos: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
+
+}  // namespace
+}  // namespace accmos::cli
+
+int main(int argc, char** argv) { return accmos::cli::mainImpl(argc, argv); }
