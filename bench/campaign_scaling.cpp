@@ -1,0 +1,129 @@
+// Campaign throughput vs. worker count, plus the compile cache's effect on
+// engine construction. The paper amortizes one generate+compile over a
+// whole campaign; this bench shows the two axes this repo adds on top:
+// fanning the per-seed executions of the one compiled binary across a
+// worker pool, and reusing the compiled binary across engine constructions
+// via the content-addressed cache.
+//
+// Knobs: ACCMOS_BENCH_SEEDS (default 16), ACCMOS_BENCH_STEPS (default
+// 100000; AccMoS campaigns run 10x that and SSE a tenth, since the
+// generated code is orders of magnitude faster per step).
+#include <cstdlib>
+#include <unistd.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "bench_common.h"
+#include "bench_models/modelgen.h"
+#include "codegen/accmos_engine.h"
+#include "sim/campaign.h"
+
+namespace {
+
+std::unique_ptr<accmos::Model> cacheDemoModel(uint64_t seed) {
+  using namespace accmos;
+  ModelBuilder b("CacheDemo", seed);
+  for (int k = 0; k < 4; ++k) b.addInport(DataType::F64);
+  for (int k = 0; k < 24; ++k) {
+    switch (k % 4) {
+      case 0: b.addCompSubsystem(12); break;
+      case 1: b.addLogicSubsystem(13); break;
+      case 2: b.addStateSubsystem(10); break;
+      default: b.addLookupSubsystem(8); break;
+    }
+  }
+  b.addOutport(b.pool());
+  return b.take();
+}
+
+}  // namespace
+
+int main() {
+  using namespace accmos;
+  const size_t numSeeds =
+      static_cast<size_t>(bench::envSteps("ACCMOS_BENCH_SEEDS", 16));
+  std::vector<uint64_t> seeds;
+  for (size_t k = 0; k < numSeeds; ++k) seeds.push_back(1000 + 37 * k);
+
+  auto model = buildBenchmarkModel("CSEV");
+  Simulator sim(*model);
+  TestCaseSpec base = benchStimulus("CSEV");
+
+  unsigned cores = std::thread::hardware_concurrency();
+  std::printf("Campaign scaling with worker count (%zu seeds, model CSEV, "
+              "%u hardware thread(s))\n",
+              numSeeds, cores);
+  if (cores <= 1) {
+    std::printf("NOTE: single-core host — worker counts > 1 measure pool "
+                "overhead only;\nspeedup needs real cores. Results stay "
+                "bit-identical regardless.\n");
+  }
+  bench::hr(96);
+  std::printf("%-7s %8s %8s | %9s %9s | %10s %9s %6s\n", "engine", "steps",
+              "workers", "wall(s)", "speedup", "compile(s)", "exec(s)",
+              "cache");
+  bench::hr(96);
+
+  for (Engine engine : {Engine::SSE, Engine::AccMoS}) {
+    // The generated code is orders of magnitude faster per step; give it
+    // proportionally more work so per-seed runtime stays measurable.
+    uint64_t steps = engine == Engine::AccMoS ? bench::benchSteps() * 10
+                                              : bench::benchSteps() / 10;
+    double base1 = 0.0;
+    for (size_t workers : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+      SimOptions opt = bench::engineOptions(engine, steps);
+      opt.campaign.workers = workers;
+      CampaignResult cr = runCampaign(sim.flatModel(), opt, base, seeds);
+      if (workers == 1) base1 = cr.wallSeconds;
+      std::printf("%-7s %8llu %8zu | %9.3f %8.2fx | %10.3f %9.3f %6s\n",
+                  std::string(engineName(engine)).c_str(),
+                  static_cast<unsigned long long>(steps), cr.workersUsed,
+                  cr.wallSeconds, base1 / cr.wallSeconds, cr.compileSeconds,
+                  cr.totalExecSeconds,
+                  engine == Engine::AccMoS
+                      ? (cr.compileCacheHit ? "hit" : "miss")
+                      : "-");
+    }
+  }
+  bench::hr(96);
+  std::printf(
+      "\nResults are merged in seed order, so every row above is "
+      "bit-identical\nto the workers=1 row (enforced by "
+      "test_campaign_parallel).\n");
+
+  // Cold vs. warm engine construction on a model not compiled above, in a
+  // private cache directory so the first construction is genuinely cold.
+  namespace fs = std::filesystem;
+  fs::path cacheDir = fs::temp_directory_path() /
+                      ("accmos-cache-bench-" + std::to_string(::getpid()));
+  ::setenv("ACCMOS_CACHE_DIR", cacheDir.c_str(), 1);
+  auto demo = cacheDemoModel(7);
+  Simulator demoSim(*demo);
+  SimOptions opt = bench::engineOptions(Engine::AccMoS, 1000);
+  TestCaseSpec tests;
+  tests.seed = 5;
+
+  auto time = [&](const char* label) {
+    auto t0 = std::chrono::steady_clock::now();
+    AccMoSEngine engine(demoSim.flatModel(), opt, tests);
+    auto t1 = std::chrono::steady_clock::now();
+    double s = std::chrono::duration<double>(t1 - t0).count();
+    std::printf("%-28s %8.3fs (generate %.3fs, compile %.3fs, cache %s)\n",
+                label, s, engine.generateSeconds(), engine.compileSeconds(),
+                engine.compileCacheHit() ? "hit" : "miss");
+    return s;
+  };
+
+  std::printf("\nCompile cache: AccMoSEngine construction, %d-actor model\n",
+              demo->countActors());
+  bench::hr(96);
+  double cold = time("cold (empty cache)");
+  double warm = time("warm (content-addressed)");
+  bench::hr(96);
+  std::printf("warm construction speedup: %.1fx\n", cold / warm);
+
+  std::error_code ec;
+  fs::remove_all(cacheDir, ec);
+  return 0;
+}

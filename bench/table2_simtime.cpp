@@ -20,9 +20,9 @@ int main() {
               "paper used 50M)\n",
               static_cast<unsigned long long>(steps));
   bench::hr(108);
-  std::printf("%-7s %9s %9s %9s %9s | %9s %9s %9s | %9s %9s\n", "Model",
+  std::printf("%-7s %9s %9s %9s %9s | %9s %9s %9s | %9s %9s %6s\n", "Model",
               "AccMoS", "SSE", "SSEac", "SSErac", "xSSE", "xSSEac", "xSSErac",
-              "gen(s)", "compile(s)");
+              "gen(s)", "compile(s)", "cache");
   bench::hr(108);
 
   double sumRatio[3] = {0, 0, 0};
@@ -50,10 +50,11 @@ int main() {
 
     std::printf(
         "%-7s %8.3fs %8.3fs %8.3fs %8.3fs | %8.1fx %8.1fx %8.1fx | %9.3f "
-        "%9.3f\n",
+        "%9.3f %6s\n",
         info.name.c_str(), acc.execSeconds, sse.execSeconds, ac.execSeconds,
         rac.execSeconds, r1, r2, r3, engine.generateSeconds(),
-        engine.compileSeconds());
+        engine.compileSeconds(),
+        engine.compileCacheHit() ? "hit" : "miss");
   }
   bench::hr(108);
   std::printf("%-7s %9s %9s %9s %9s | %8.1fx %8.1fx %8.1fx   (paper avg: "

@@ -47,9 +47,11 @@ AccMoSEngine::AccMoSEngine(const FlatModel& fm, const SimOptions& opt,
 
   driver_ = std::make_unique<CompilerDriver>(opt_.workDir);
   driver_->setKeep(opt_.keepGeneratedCode || !opt_.workDir.empty());
+  driver_->setCacheEnabled(opt_.compileCache);
   auto compiled = driver_->compile(source_, "model_" + fm_.modelName,
                                    opt_.optFlag);
   compileSeconds_ = compiled.seconds;
+  compileCacheHit_ = compiled.cacheHit;
   exePath_ = compiled.exePath;
 }
 

@@ -38,6 +38,10 @@ class AccMoSEngine {
   const std::string& generatedSource() const { return source_; }
   double generateSeconds() const { return generateSeconds_; }
   double compileSeconds() const { return compileSeconds_; }
+  // True when the compiled simulator came from the content-addressed cache
+  // (compileSeconds is then the cache-verification time, near zero).
+  bool compileCacheHit() const { return compileCacheHit_; }
+  const std::string& exePath() const { return exePath_; }
   const CoveragePlan* coveragePlan() const {
     return opt_.coverage ? &covPlan_ : nullptr;
   }
@@ -53,6 +57,7 @@ class AccMoSEngine {
   std::string exePath_;
   double generateSeconds_ = 0.0;
   double compileSeconds_ = 0.0;
+  bool compileCacheHit_ = false;
   std::unique_ptr<class CompilerDriver> driver_;
 };
 

@@ -1,14 +1,19 @@
 #include "codegen/compiler_driver.h"
 
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
+#include <unordered_map>
 
 namespace accmos {
 namespace fs = std::filesystem;
@@ -18,7 +23,7 @@ namespace {
 std::atomic<int> g_dirCounter{0};
 
 std::string readFile(const fs::path& p) {
-  std::ifstream in(p);
+  std::ifstream in(p, std::ios::binary);
   std::ostringstream os;
   os << in.rdbuf();
   return os.str();
@@ -35,6 +40,102 @@ std::string shellQuote(const std::string& s) {
   }
   out += "'";
   return out;
+}
+
+// Turns a wait()-style status (std::system, pclose) into a human-readable
+// description; returns the empty string for a clean exit.
+std::string describeStatus(int status) {
+  if (status == -1) {
+    return std::string("could not be launched (") + std::strerror(errno) + ")";
+  }
+  if (WIFSIGNALED(status)) {
+    return "was killed by signal " + std::to_string(WTERMSIG(status));
+  }
+  if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+    return "exited with status " + std::to_string(WEXITSTATUS(status));
+  }
+  if (!WIFEXITED(status)) {
+    return "stopped abnormally (wait status " + std::to_string(status) + ")";
+  }
+  return "";
+}
+
+uint64_t fnv1a64(const std::string& data, uint64_t h = 0xcbf29ce484222325ull) {
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string hex16(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool cacheDisabledByEnv() {
+  const char* v = std::getenv("ACCMOS_CACHE_DISABLE");
+  return v != nullptr && v[0] != '\0' && std::string(v) != "0";
+}
+
+// In-process index of cache entries this process has verified or produced.
+// Hits are still re-verified against the on-disk content (size + hash), so
+// external corruption — or a cleaned temp dir — degrades to a recompile,
+// never to executing a damaged binary.
+std::mutex g_cacheMutex;
+std::unordered_map<uint64_t, std::string> g_cacheIndex;
+
+struct CacheEntry {
+  fs::path bin;
+  fs::path meta;
+};
+
+CacheEntry cachePaths(uint64_t key) {
+  fs::path dir(CompilerDriver::cacheDir());
+  return {dir / (hex16(key) + ".bin"), dir / (hex16(key) + ".meta")};
+}
+
+// A cache entry is valid when the sidecar's recorded size and content hash
+// match the binary on disk (catches truncation and bit rot).
+bool verifyEntry(const CacheEntry& e) {
+  std::error_code ec;
+  if (!fs::is_regular_file(e.bin, ec) || !fs::is_regular_file(e.meta, ec)) {
+    return false;
+  }
+  std::ifstream meta(e.meta);
+  uint64_t size = 0;
+  std::string hash;
+  if (!(meta >> size >> hash)) return false;
+  if (fs::file_size(e.bin, ec) != size || ec) return false;
+  return hex16(fnv1a64(readFile(e.bin))) == hash;
+}
+
+// Atomically publishes `exePath` under the cache key: copy to a temp name
+// in the cache dir, then rename (binary first, sidecar last — readers
+// require a valid sidecar, so a torn write is just a miss). Best effort:
+// any filesystem error leaves the cache unused, not the build broken.
+bool storeEntry(uint64_t key, const fs::path& exePath) {
+  try {
+    CacheEntry e = cachePaths(key);
+    fs::create_directories(e.bin.parent_path());
+    std::string tag = "." + std::to_string(::getpid()) + ".tmp";
+    fs::path binTmp = e.bin.string() + tag;
+    fs::path metaTmp = e.meta.string() + tag;
+    fs::copy_file(exePath, binTmp, fs::copy_options::overwrite_existing);
+    std::string content = readFile(binTmp);
+    {
+      std::ofstream meta(metaTmp);
+      meta << content.size() << " " << hex16(fnv1a64(content)) << "\n";
+      if (!meta) return false;
+    }
+    fs::rename(binTmp, e.bin);
+    fs::rename(metaTmp, e.meta);
+    return true;
+  } catch (const fs::filesystem_error&) {
+    return false;
+  }
 }
 
 }  // namespace
@@ -66,6 +167,21 @@ std::string CompilerDriver::compilerPath() {
   return "c++";
 }
 
+std::string CompilerDriver::cacheDir() {
+  const char* env = std::getenv("ACCMOS_CACHE_DIR");
+  if (env != nullptr && env[0] != '\0') return env;
+  return (fs::temp_directory_path() / "accmos-cache").string();
+}
+
+uint64_t CompilerDriver::cacheKey(const std::string& source,
+                                  const std::string& optFlag) {
+  uint64_t h = fnv1a64(compilerPath());
+  h = fnv1a64(std::string(" -std=c++17 "), h);
+  h = fnv1a64(optFlag, h);
+  h = fnv1a64(std::string("\x1f"), h);  // separator: flags vs source
+  return fnv1a64(source, h);
+}
+
 CompileOutput CompilerDriver::compile(const std::string& source,
                                       const std::string& name,
                                       const std::string& optFlag) {
@@ -78,6 +194,33 @@ CompileOutput CompilerDriver::compile(const std::string& source,
     if (!f) throw CompileError("cannot write " + src.string());
     f << source;
   }
+  out.sourcePath = src.string();
+
+  bool useCache = cacheEnabled_ && !cacheDisabledByEnv();
+  uint64_t key = 0;
+  if (useCache) {
+    key = cacheKey(source, optFlag);
+    auto t0 = std::chrono::steady_clock::now();
+    CacheEntry e = cachePaths(key);
+    if (verifyEntry(e)) {
+      {
+        std::lock_guard<std::mutex> lock(g_cacheMutex);
+        g_cacheIndex[key] = e.bin.string();
+      }
+      auto t1 = std::chrono::steady_clock::now();
+      out.seconds = std::chrono::duration<double>(t1 - t0).count();
+      out.exePath = e.bin.string();
+      out.cacheHit = true;
+      return out;
+    }
+    {
+      // An entry this process produced earlier no longer verifies
+      // (truncated, corrupted, or cleaned up): drop it and recompile.
+      std::lock_guard<std::mutex> lock(g_cacheMutex);
+      g_cacheIndex.erase(key);
+    }
+  }
+
   std::ostringstream cmd;
   cmd << compilerPath() << " -std=c++17 " << optFlag << " -o "
       << shellQuote(exe.string()) << " " << shellQuote(src.string()) << " > "
@@ -86,12 +229,19 @@ CompileOutput CompilerDriver::compile(const std::string& source,
   int rc = std::system(cmd.str().c_str());
   auto t1 = std::chrono::steady_clock::now();
   out.seconds = std::chrono::duration<double>(t1 - t0).count();
-  if (rc != 0) {
-    throw CompileError("compilation of generated simulation code failed:\n" +
-                       readFile(log));
+  std::string failure = describeStatus(rc);
+  if (!failure.empty()) {
+    throw CompileError("compilation of generated simulation code failed: " +
+                       compilerPath() + " " + failure +
+                       "\ncompiler output:\n" + readFile(log));
   }
   out.exePath = exe.string();
-  out.sourcePath = src.string();
+  if (useCache && storeEntry(key, exe)) {
+    CacheEntry e = cachePaths(key);
+    out.exePath = e.bin.string();
+    std::lock_guard<std::mutex> lock(g_cacheMutex);
+    g_cacheIndex[key] = e.bin.string();
+  }
   return out;
 }
 
@@ -102,7 +252,9 @@ std::string CompilerDriver::run(const std::string& exePath,
   for (const auto& a : args) cmd << " " << shellQuote(a);
   FILE* pipe = ::popen(cmd.str().c_str(), "r");
   if (pipe == nullptr) {
-    throw CompileError("failed to launch generated simulation binary");
+    throw CompileError(
+        std::string("failed to launch generated simulation binary: ") +
+        std::strerror(errno));
   }
   std::string output;
   char buf[4096];
@@ -110,10 +262,16 @@ std::string CompilerDriver::run(const std::string& exePath,
   while ((n = ::fread(buf, 1, sizeof(buf), pipe)) > 0) {
     output.append(buf, n);
   }
+  bool readError = ::ferror(pipe) != 0;
   int rc = ::pclose(pipe);
-  if (rc != 0) {
-    throw CompileError("generated simulation binary exited with status " +
-                       std::to_string(rc) + "\n" + output);
+  if (readError) {
+    throw CompileError(
+        "error reading output of generated simulation binary " + exePath);
+  }
+  std::string failure = describeStatus(rc);
+  if (!failure.empty()) {
+    throw CompileError("generated simulation binary " + failure + "\n" +
+                       output);
   }
   return output;
 }

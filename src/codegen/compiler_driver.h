@@ -1,25 +1,37 @@
 // Compile-and-execute step of the AccMoS pipeline: writes the generated
 // source, invokes the host C++ compiler (the paper uses GCC -O3), and runs
 // the resulting simulation binary capturing its result protocol.
+//
+// Compilation is fronted by a content-addressed cache: the key is a hash of
+// (compiler, common flags, optimization level, generated source), and
+// compiled binaries are stored under $ACCMOS_CACHE_DIR (default
+// <system-tmp>/accmos-cache). A second engine construction for the same
+// model skips the dominant compile cost — "one compiled simulator serves a
+// whole campaign" extends to "…and every later campaign on the same model".
+// Cached entries carry a size + content hash sidecar and are verified on
+// every hit; a corrupted or truncated entry falls back to a recompile.
 #pragma once
 
-#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "ir/model.h"
 
 namespace accmos {
 
 // Thrown when the compiler or the generated binary fails; carries the
-// captured log.
-class CompileError : public std::runtime_error {
+// captured compiler/binary output. A ModelError so callers handling model
+// pipeline failures see compiler stderr, not a bare exit code.
+class CompileError : public ModelError {
  public:
-  explicit CompileError(const std::string& what) : std::runtime_error(what) {}
+  explicit CompileError(const std::string& what) : ModelError(what) {}
 };
 
 struct CompileOutput {
   std::string exePath;
   std::string sourcePath;
   double seconds = 0.0;
+  bool cacheHit = false;  // binary came from the content-addressed cache
 };
 
 class CompilerDriver {
@@ -32,12 +44,15 @@ class CompilerDriver {
   CompilerDriver(const CompilerDriver&) = delete;
   CompilerDriver& operator=(const CompilerDriver&) = delete;
 
-  // Writes `source` to <dir>/<name>.cpp and compiles it.
+  // Writes `source` to <dir>/<name>.cpp and compiles it — or, when the
+  // cache holds a verified binary for the same (compiler, flags, source),
+  // returns that binary with cacheHit set and near-zero seconds.
   CompileOutput compile(const std::string& source, const std::string& name,
                         const std::string& optFlag);
 
   // Runs the binary with the given argv, returning captured stdout.
-  // Throws CompileError on non-zero exit.
+  // Throws CompileError on launch failure, read error, or non-zero exit
+  // (the message decodes signals vs. exit statuses and carries the output).
   std::string run(const std::string& exePath,
                   const std::vector<std::string>& args) const;
 
@@ -45,14 +60,23 @@ class CompilerDriver {
   // Keep the working directory on destruction (for debugging / the
   // keepGeneratedCode option).
   void setKeep(bool keep) { keep_ = keep; }
+  // Disable the compile cache for this driver (SimOptions::compileCache).
+  // The ACCMOS_CACHE_DISABLE environment variable disables it globally.
+  void setCacheEnabled(bool enabled) { cacheEnabled_ = enabled; }
 
   // The compiler command used ($CXX, else c++).
   static std::string compilerPath();
+  // Resolved cache directory: $ACCMOS_CACHE_DIR, else <tmp>/accmos-cache.
+  static std::string cacheDir();
+  // Content-address of a compilation: stable across processes.
+  static uint64_t cacheKey(const std::string& source,
+                           const std::string& optFlag);
 
  private:
   std::string dir_;
   bool owned_ = false;  // we created it -> we may remove it
   bool keep_ = false;
+  bool cacheEnabled_ = true;
 };
 
 }  // namespace accmos

@@ -1,6 +1,11 @@
 #include "sim/campaign.h"
 
+#include <atomic>
+#include <chrono>
+#include <exception>
 #include <map>
+#include <mutex>
+#include <thread>
 #include <tuple>
 
 #include "actors/spec.h"
@@ -25,6 +30,63 @@ void mergeDiagnostics(std::map<std::tuple<int, DiagKind, std::string>,
   }
 }
 
+size_t resolveWorkers(const SimOptions& opt, size_t numSeeds) {
+  size_t workers = opt.campaign.workers;
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  return std::min(workers, numSeeds);
+}
+
+// Runs every seed, storing the per-seed result at the seed's index. With
+// more than one worker, seeds are pulled from a shared counter by a pool of
+// threads: the SSE engine gets one interpreter instance per worker, the
+// AccMoS engine launches concurrent executions of the one compiled binary
+// (each child process writes its result stream to its own pipe). The first
+// exception thrown by any worker is rethrown on the calling thread.
+void executeSeeds(const FlatModel& fm, const SimOptions& opt,
+                  const TestCaseSpec& baseTests,
+                  const std::vector<uint64_t>& seeds, size_t workers,
+                  AccMoSEngine* engine, std::vector<SimulationResult>& out) {
+  auto runRange = [&](std::atomic<size_t>& next,
+                      std::exception_ptr& error, std::mutex& errMutex) {
+    std::unique_ptr<Interpreter> interp;
+    TestCaseSpec tests = baseTests;
+    for (;;) {
+      size_t k = next.fetch_add(1);
+      if (k >= seeds.size()) break;
+      try {
+        if (opt.engine == Engine::SSE) {
+          if (!interp) interp = std::make_unique<Interpreter>(fm, opt);
+          tests.seed = seeds[k];
+          out[k] = interp->run(tests);
+        } else {
+          out[k] = engine->run(0, -1.0, seeds[k]);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(errMutex);
+        if (!error) error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::atomic<size_t> next{0};
+  std::exception_ptr error;
+  std::mutex errMutex;
+  if (workers <= 1) {
+    runRange(next, error, errMutex);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] { runRange(next, error, errMutex); });
+    }
+    for (auto& t : pool) t.join();
+  }
+  if (error) std::rethrow_exception(error);
+}
+
 }  // namespace
 
 CampaignResult runCampaign(const FlatModel& fm, const SimOptions& opt,
@@ -39,42 +101,42 @@ CampaignResult runCampaign(const FlatModel& fm, const SimOptions& opt,
   }
   if (seeds.empty()) throw ModelError("test campaign needs at least one seed");
 
+  auto wall0 = std::chrono::steady_clock::now();
   CampaignResult out;
   CoveragePlan plan = CoveragePlan::build(
       fm, [](const FlatActor& fa) { return covTraitsFor(fa); });
   out.mergedBitmaps = CoverageRecorder(plan);
-  std::map<std::tuple<int, DiagKind, std::string>, DiagRecord> merged;
+  out.workersUsed = resolveWorkers(opt, seeds.size());
 
-  // Build each engine once; reuse per seed.
-  std::unique_ptr<Interpreter> interp;
+  // Generate + compile once; the generated program takes the stimulus seed
+  // as a runtime argument, so the same binary serves every seed (and every
+  // worker — executions are separate processes).
   std::unique_ptr<AccMoSEngine> engine;
-  TestCaseSpec tests = baseTests;
-  if (opt.engine == Engine::SSE) {
-    interp = std::make_unique<Interpreter>(fm, opt);
+  if (opt.engine == Engine::AccMoS) {
+    engine = std::make_unique<AccMoSEngine>(fm, opt, baseTests);
+    out.generateSeconds = engine->generateSeconds();
+    out.compileSeconds = engine->compileSeconds();
+    out.compileCacheHit = engine->compileCacheHit();
   }
 
-  for (uint64_t seed : seeds) {
-    tests.seed = seed;
-    SimulationResult res;
-    if (opt.engine == Engine::SSE) {
-      res = interp->run(tests);
-    } else {
-      // Generate + compile once; the generated program takes the stimulus
-      // seed as a runtime argument, so the same binary serves every seed.
-      if (!engine) {
-        engine = std::make_unique<AccMoSEngine>(fm, opt, baseTests);
-        out.generateSeconds = engine->generateSeconds();
-        out.compileSeconds = engine->compileSeconds();
-      }
-      res = engine->run(0, -1.0, seed);
-    }
+  std::vector<SimulationResult> results(seeds.size());
+  executeSeeds(fm, opt, baseTests, seeds, out.workersUsed, engine.get(),
+               results);
 
+  // Merge strictly in seed order: coverage-bitmap unions, diagnostic
+  // deduplication and the per-seed cumulative reports are computed exactly
+  // as the sequential path would, so the campaign outcome is independent of
+  // the execution interleaving above.
+  std::map<std::tuple<int, DiagKind, std::string>, DiagRecord> merged;
+  out.perSeed.reserve(seeds.size());
+  for (size_t k = 0; k < seeds.size(); ++k) {
+    const SimulationResult& res = results[k];
     out.mergedBitmaps.merge(res.bitmaps);
     mergeDiagnostics(merged, res.diagnostics);
     out.totalExecSeconds += res.execSeconds;
 
     CampaignSeedResult sr;
-    sr.seed = seed;
+    sr.seed = seeds[k];
     sr.steps = res.stepsExecuted;
     sr.execSeconds = res.execSeconds;
     sr.coverage = res.coverage;
@@ -90,6 +152,8 @@ CampaignResult runCampaign(const FlatModel& fm, const SimOptions& opt,
               return std::tie(a.firstStep, a.actorPath) <
                      std::tie(b.firstStep, b.actorPath);
             });
+  auto wall1 = std::chrono::steady_clock::now();
+  out.wallSeconds = std::chrono::duration<double>(wall1 - wall0).count();
   return out;
 }
 

@@ -6,6 +6,13 @@
 // With Engine::AccMoS the model is generated and compiled once and the
 // binary re-run per seed, which is exactly how a generated simulator
 // amortizes over a test campaign.
+//
+// Campaigns scale across cores: `SimOptions::campaign.workers` fans the
+// seeds out over a worker pool (N concurrent executions of the one
+// compiled binary, or one interpreter instance per worker for SSE).
+// Per-seed results are collected and then merged in seed order, so the
+// outcome — per-seed reports, merged bitmaps, deduplicated diagnostics —
+// is bit-identical to the sequential run for any worker count.
 #pragma once
 
 #include <cstdint>
@@ -34,9 +41,12 @@ struct CampaignResult {
   // All diagnostics observed across seeds (deduplicated per actor/kind/
   // message; firstStep is the earliest across seeds, count the sum).
   std::vector<DiagRecord> diagnostics;
-  double totalExecSeconds = 0.0;
-  double generateSeconds = 0.0;  // AccMoS one-off costs
+  double totalExecSeconds = 0.0;      // sum of per-seed execution time
+  double wallSeconds = 0.0;           // wall clock for the whole campaign
+  double generateSeconds = 0.0;       // AccMoS one-off costs
   double compileSeconds = 0.0;
+  bool compileCacheHit = false;       // AccMoS: binary came from the cache
+  size_t workersUsed = 1;
 };
 
 // Runs `opt.maxSteps` steps per seed for each seed in `seeds`, using

@@ -19,6 +19,18 @@ enum class Engine : uint8_t {
 
 std::string_view engineName(Engine e);
 
+// Multi-seed campaign execution knobs. The compiled AccMoS simulator is a
+// self-contained process taking the stimulus seed as an argument, so a
+// campaign fans seeds out across a worker pool: N concurrent executions of
+// the one compiled binary (or one interpreter instance per worker for SSE).
+// Results are merged deterministically in seed order, so campaign output is
+// bit-identical regardless of worker count.
+struct CampaignOptions {
+  // Number of concurrent workers. 1 = sequential (the default);
+  // 0 = one worker per hardware thread.
+  size_t workers = 1;
+};
+
 struct SimOptions {
   Engine engine = Engine::SSE;
 
@@ -43,6 +55,13 @@ struct SimOptions {
   std::string optFlag = "-O3";   // compiler optimization level
   bool keepGeneratedCode = false;
   std::string workDir;           // empty = temp directory
+  // Reuse compiled simulators across engine constructions via the
+  // content-addressed cache (key: compiler + flags + generated source).
+  // The cache lives under $ACCMOS_CACHE_DIR (default: <tmp>/accmos-cache).
+  bool compileCache = true;
+
+  // Multi-seed campaign execution (runCampaign only).
+  CampaignOptions campaign;
 };
 
 }  // namespace accmos

@@ -1,0 +1,222 @@
+// The content-addressed compile cache: identical (source, flags) hits the
+// cache and skips the compiler; different opt level or source misses; a
+// corrupted or truncated cached binary is detected by the size+hash
+// sidecar and falls back to a recompile — never to executing the damaged
+// file. Plus the CompilerDriver error-path regression: uncompilable source
+// surfaces compiler stderr through a catchable ModelError.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "codegen/accmos_engine.h"
+#include "codegen/compiler_driver.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+
+namespace accmos {
+namespace {
+
+namespace fs = std::filesystem;
+using test::Tiny;
+
+// Each test gets a private cache directory via ACCMOS_CACHE_DIR, so hits
+// and misses are fully deterministic regardless of prior runs.
+class CompileCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static int counter = 0;
+    dir_ = fs::temp_directory_path() /
+           ("accmos_cache_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter++));
+    fs::create_directories(dir_);
+    ::setenv("ACCMOS_CACHE_DIR", dir_.c_str(), 1);
+  }
+  void TearDown() override {
+    ::unsetenv("ACCMOS_CACHE_DIR");
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  fs::path dir_;
+};
+
+std::unique_ptr<Tiny> gainModel(double gain) {
+  auto t = std::make_unique<Tiny>();
+  t->inport("In1", 1);
+  Actor& g = t->actor("G", "Gain");
+  g.params().setDouble("gain", gain);
+  t->outport("Out1", 1);
+  t->wire("In1", "G");
+  t->wire("G", "Out1");
+  return t;
+}
+
+SimOptions accOptions(const std::string& optFlag = "-O1") {
+  SimOptions opt;
+  opt.engine = Engine::AccMoS;
+  opt.maxSteps = 50;
+  opt.optFlag = optFlag;  // cheap to compile; the cache behaves the same
+  return opt;
+}
+
+TEST_F(CompileCacheTest, SecondConstructionHitsAndReusesBinary) {
+  auto t = gainModel(2.0);
+  Simulator sim(t->model());
+  SimOptions opt = accOptions();
+  TestCaseSpec tests;
+
+  AccMoSEngine cold(sim.flatModel(), opt, tests);
+  EXPECT_FALSE(cold.compileCacheHit());
+  EXPECT_GT(cold.compileSeconds(), 0.0);
+  auto coldRes = cold.run();
+
+  AccMoSEngine warm(sim.flatModel(), opt, tests);
+  EXPECT_TRUE(warm.compileCacheHit());
+  EXPECT_LT(warm.compileSeconds(), cold.compileSeconds());
+  EXPECT_LT(warm.compileSeconds(), 0.1);  // verification, not compilation
+  // The binary path is the cache entry, shared across constructions.
+  EXPECT_EQ(warm.exePath(), cold.exePath());
+  EXPECT_NE(warm.exePath().find(dir_.string()), std::string::npos);
+
+  auto warmRes = warm.run();
+  test::expectSameOutputs(coldRes, warmRes, "cache hit");
+  EXPECT_EQ(coldRes.stepsExecuted, warmRes.stepsExecuted);
+}
+
+TEST_F(CompileCacheTest, DifferentOptLevelMisses) {
+  auto t = gainModel(2.0);
+  Simulator sim(t->model());
+  TestCaseSpec tests;
+  AccMoSEngine o1(sim.flatModel(), accOptions("-O1"), tests);
+  AccMoSEngine o0(sim.flatModel(), accOptions("-O0"), tests);
+  EXPECT_FALSE(o1.compileCacheHit());
+  EXPECT_FALSE(o0.compileCacheHit());
+  EXPECT_NE(o1.exePath(), o0.exePath());
+  // Each opt level now has its own entry; both hit on reconstruction.
+  AccMoSEngine o1again(sim.flatModel(), accOptions("-O1"), tests);
+  EXPECT_TRUE(o1again.compileCacheHit());
+}
+
+TEST_F(CompileCacheTest, DifferentSourceMisses) {
+  auto a = gainModel(2.0);
+  auto b = gainModel(3.0);  // different parameter -> different source
+  Simulator simA(a->model());
+  Simulator simB(b->model());
+  TestCaseSpec tests;
+  AccMoSEngine ea(simA.flatModel(), accOptions(), tests);
+  AccMoSEngine eb(simB.flatModel(), accOptions(), tests);
+  EXPECT_FALSE(ea.compileCacheHit());
+  EXPECT_FALSE(eb.compileCacheHit());
+  EXPECT_NE(ea.exePath(), eb.exePath());
+}
+
+TEST_F(CompileCacheTest, CorruptedEntryFallsBackToRecompile) {
+  auto t = gainModel(2.0);
+  Simulator sim(t->model());
+  SimOptions opt = accOptions();
+  TestCaseSpec tests;
+  AccMoSEngine cold(sim.flatModel(), opt, tests);
+  auto coldRes = cold.run();
+
+  // Truncate the cached binary behind the cache's back.
+  fs::path bin;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".bin") bin = entry.path();
+  }
+  ASSERT_FALSE(bin.empty());
+  auto size = fs::file_size(bin);
+  fs::resize_file(bin, size / 2);
+
+  // The sidecar no longer matches: detected as a miss, recompiled, and the
+  // entry is healed for the construction after that.
+  AccMoSEngine recompiled(sim.flatModel(), opt, tests);
+  EXPECT_FALSE(recompiled.compileCacheHit());
+  auto res = recompiled.run();
+  test::expectSameOutputs(coldRes, res, "recompiled after corruption");
+
+  AccMoSEngine healed(sim.flatModel(), opt, tests);
+  EXPECT_TRUE(healed.compileCacheHit());
+}
+
+TEST_F(CompileCacheTest, TruncatedToZeroAlsoRecovers) {
+  auto t = gainModel(2.0);
+  Simulator sim(t->model());
+  SimOptions opt = accOptions();
+  TestCaseSpec tests;
+  AccMoSEngine cold(sim.flatModel(), opt, tests);
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".bin") {
+      std::ofstream wipe(entry.path(), std::ios::trunc);  // 0 bytes
+    }
+  }
+  AccMoSEngine recompiled(sim.flatModel(), opt, tests);
+  EXPECT_FALSE(recompiled.compileCacheHit());
+  auto res = recompiled.run();
+  EXPECT_EQ(res.stepsExecuted, opt.maxSteps);
+}
+
+TEST_F(CompileCacheTest, OptOutDisablesReuse) {
+  auto t = gainModel(2.0);
+  Simulator sim(t->model());
+  SimOptions opt = accOptions();
+  opt.compileCache = false;
+  TestCaseSpec tests;
+  AccMoSEngine first(sim.flatModel(), opt, tests);
+  AccMoSEngine second(sim.flatModel(), opt, tests);
+  EXPECT_FALSE(first.compileCacheHit());
+  EXPECT_FALSE(second.compileCacheHit());
+  // Nothing was published to the cache directory.
+  size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 0u);
+}
+
+TEST_F(CompileCacheTest, CacheKeyIsStable) {
+  // Content addressing: the key is a pure function of source + flags.
+  EXPECT_EQ(CompilerDriver::cacheKey("int main(){}", "-O2"),
+            CompilerDriver::cacheKey("int main(){}", "-O2"));
+  EXPECT_NE(CompilerDriver::cacheKey("int main(){}", "-O2"),
+            CompilerDriver::cacheKey("int main(){}", "-O3"));
+  EXPECT_NE(CompilerDriver::cacheKey("int main(){}", "-O2"),
+            CompilerDriver::cacheKey("int main(){ }", "-O2"));
+}
+
+// Regression for the error paths: a deliberately uncompilable source must
+// produce a CompileError (a ModelError) whose message carries the
+// compiler's actual stderr, not just an exit code.
+TEST_F(CompileCacheTest, UncompilableSourceSurfacesCompilerStderr) {
+  CompilerDriver driver;
+  try {
+    driver.compile("int main() { return not_a_symbol; }", "broken", "-O0");
+    FAIL() << "expected CompileError";
+  } catch (const ModelError& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("compiler output"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("not_a_symbol"), std::string::npos)
+        << "compiler stderr not surfaced: " << msg;
+  }
+  // A failed compilation must not poison the cache.
+  size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 0u);
+}
+
+TEST_F(CompileCacheTest, MissingBinaryRunFails) {
+  CompilerDriver driver;
+  EXPECT_THROW(driver.run((fs::path(driver.dir()) / "nonexistent").string(),
+                          {"1", "0", "1"}),
+               CompileError);
+}
+
+}  // namespace
+}  // namespace accmos

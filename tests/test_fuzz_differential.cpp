@@ -7,6 +7,7 @@
 
 #include "bench_models/modelgen.h"
 #include "parser/model_io.h"
+#include "sim/campaign.h"
 #include "test_util.h"
 
 namespace accmos {
@@ -87,6 +88,68 @@ TEST_P(FuzzAccMoS, GeneratedCodeMatchesInterpreter) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzAccMoS,
                          ::testing::Values(101, 202, 303, 404));
+
+// Campaign-mode differential: a random model under a random seed set, run
+// as a *parallel* AccMoS campaign (one compiled binary, concurrent
+// executions) against the *sequential* interpreter campaign. Coverage
+// reports — per seed and cumulative — and the deduplicated diagnostic
+// (actor, kind) sets must agree exactly.
+class FuzzCampaignDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzCampaignDifferential, ParallelAccMoSMatchesSequentialSse) {
+  uint64_t seed = GetParam();
+  auto model = randomModel(seed);
+  SplitMix64 rng(seed * 977 + 11);
+  std::vector<uint64_t> seeds;
+  size_t numSeeds = 4 + rng.next() % 5;
+  for (size_t k = 0; k < numSeeds; ++k) seeds.push_back(1 + rng.next() % 1000);
+
+  Simulator sim(*model);
+  SimOptions sseOpt;
+  sseOpt.engine = Engine::SSE;
+  sseOpt.maxSteps = 300;
+  sseOpt.campaign.workers = 1;  // the sequential reference
+  auto sse = runCampaign(sim.flatModel(), sseOpt, TestCaseSpec{}, seeds);
+
+  SimOptions accOpt = sseOpt;
+  accOpt.engine = Engine::AccMoS;
+  accOpt.campaign.workers = 4;
+  auto acc = runCampaign(sim.flatModel(), accOpt, TestCaseSpec{}, seeds);
+
+  ASSERT_EQ(sse.perSeed.size(), acc.perSeed.size());
+  for (size_t k = 0; k < seeds.size(); ++k) {
+    EXPECT_EQ(sse.perSeed[k].seed, acc.perSeed[k].seed);
+    for (CovMetric m : kAllCovMetrics) {
+      EXPECT_EQ(sse.perSeed[k].coverage.of(m).covered,
+                acc.perSeed[k].coverage.of(m).covered)
+          << "model " << seed << " seed " << seeds[k] << " "
+          << covMetricName(m);
+      EXPECT_EQ(sse.perSeed[k].cumulative.of(m).covered,
+                acc.perSeed[k].cumulative.of(m).covered)
+          << "model " << seed << " seed " << seeds[k] << " cumulative "
+          << covMetricName(m);
+    }
+  }
+  for (CovMetric m : kAllCovMetrics) {
+    EXPECT_EQ(sse.cumulative.of(m).covered, acc.cumulative.of(m).covered)
+        << "model " << seed << " " << covMetricName(m);
+    EXPECT_EQ(sse.mergedBitmaps.bits(m), acc.mergedBitmaps.bits(m))
+        << "model " << seed << " merged " << covMetricName(m) << " bitmap";
+  }
+
+  // Diagnostic (actor, kind) multisets agree, with counts summed across
+  // seeds and firstStep the earliest occurrence.
+  ASSERT_EQ(sse.diagnostics.size(), acc.diagnostics.size()) << seed;
+  for (size_t k = 0; k < sse.diagnostics.size(); ++k) {
+    EXPECT_EQ(sse.diagnostics[k].actorPath, acc.diagnostics[k].actorPath);
+    EXPECT_EQ(sse.diagnostics[k].kind, acc.diagnostics[k].kind);
+    EXPECT_EQ(sse.diagnostics[k].firstStep, acc.diagnostics[k].firstStep);
+    EXPECT_EQ(sse.diagnostics[k].count, acc.diagnostics[k].count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzCampaignDifferential,
+                         ::testing::Values(511, 622, 733));
 
 }  // namespace
 }  // namespace accmos

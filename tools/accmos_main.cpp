@@ -4,7 +4,8 @@
 //   accmos gen <model.xml> [-o out.cpp]         emit simulation code
 //   accmos run <model.xml> [options]            simulate and report
 //   accmos campaign <model.xml> [--seeds=N] [--steps=M] [--engine=E]
-//                                               multi-seed coverage campaign
+//                   [--workers=W]             multi-seed coverage campaign
+//                                             (W workers; 0 = all cores)
 //   accmos export-suite <dir>                   write the benchmark models
 //
 // run options:
@@ -45,7 +46,7 @@ int usage() {
                "             [--no-coverage] [--no-diagnosis] "
                "[--stop-on-diagnostic] [--opt=-O3]\n"
                "  accmos campaign <model.xml> [--seeds=N] [--steps=M] "
-               "[--engine=accmos|sse]\n"
+               "[--engine=accmos|sse] [--workers=W]\n"
                "  accmos export-suite <directory>\n");
   return 2;
 }
@@ -216,6 +217,8 @@ int cmdCampaign(const std::string& path,
       numSeeds = static_cast<int>(std::strtol(v.c_str(), nullptr, 10));
     } else if (flagValue(arg, "--steps", &v)) {
       opt.maxSteps = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flagValue(arg, "--workers", &v)) {
+      opt.campaign.workers = std::strtoull(v.c_str(), nullptr, 10);
     } else if (flagValue(arg, "--engine", &v)) {
       if (v == "accmos") opt.engine = Engine::AccMoS;
       else if (v == "sse") opt.engine = Engine::SSE;
@@ -235,9 +238,9 @@ int cmdCampaign(const std::string& path,
   for (int k = 0; k < numSeeds; ++k) seeds.push_back(1000 + 37 * k);
 
   CampaignResult cr = runCampaign(sim.flatModel(), opt, base, seeds);
-  std::printf("campaign : %d seeds x %llu steps on %s\n", numSeeds,
-              static_cast<unsigned long long>(opt.maxSteps),
-              std::string(engineName(opt.engine)).c_str());
+  std::printf("campaign : %d seeds x %llu steps on %s, %zu worker(s)\n",
+              numSeeds, static_cast<unsigned long long>(opt.maxSteps),
+              std::string(engineName(opt.engine)).c_str(), cr.workersUsed);
   std::printf("%-10s %8s %8s %8s %8s   (cumulative)\n", "seed", "actor",
               "cond", "dec", "mcdc");
   for (const auto& sr : cr.perSeed) {
@@ -248,10 +251,12 @@ int cmdCampaign(const std::string& path,
                 sr.cumulative.of(CovMetric::Decision).percent(),
                 sr.cumulative.of(CovMetric::MCDC).percent());
   }
-  std::printf("exec     : %.3fs total", cr.totalExecSeconds);
+  std::printf("exec     : %.3fs total, %.3fs wall", cr.totalExecSeconds,
+              cr.wallSeconds);
   if (cr.compileSeconds > 0.0) {
-    std::printf(" (+%.3fs one-off generate+compile)", 
-                cr.generateSeconds + cr.compileSeconds);
+    std::printf(" (+%.3fs one-off generate+compile%s)",
+                cr.generateSeconds + cr.compileSeconds,
+                cr.compileCacheHit ? ", cached" : "");
   }
   std::printf("\ndiagnosis: %zu distinct event(s) across the campaign\n",
               cr.diagnostics.size());
