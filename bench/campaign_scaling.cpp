@@ -65,6 +65,7 @@ int main() {
               "cache");
   bench::hr(96);
 
+  bench::JsonReporter json("campaign_scaling");
   for (Engine engine : {Engine::SSE, Engine::AccMoS}) {
     // The generated code is orders of magnitude faster per step; give it
     // proportionally more work so per-seed runtime stays measurable.
@@ -84,6 +85,16 @@ int main() {
                   engine == Engine::AccMoS
                       ? (cr.compileCacheHit ? "hit" : "miss")
                       : "-");
+      json.row()
+          .str("engine", std::string(engineName(engine)))
+          .count("steps", steps)
+          .count("seeds", numSeeds)
+          .count("workers", cr.workersUsed)
+          .num("wall_s", cr.wallSeconds)
+          .num("speedup_vs_1_worker", base1 / cr.wallSeconds)
+          .num("compile_s", cr.compileSeconds)
+          .num("exec_s", cr.totalExecSeconds)
+          .flag("compile_cache_hit", cr.compileCacheHit);
     }
   }
   bench::hr(96);
@@ -122,6 +133,13 @@ int main() {
   double warm = time("warm (content-addressed)");
   bench::hr(96);
   std::printf("warm construction speedup: %.1fx\n", cold / warm);
+  json.row()
+      .str("engine", "accmos")
+      .str("phase", "engine_construction")
+      .num("cold_s", cold)
+      .num("warm_s", warm)
+      .num("warm_speedup", cold / warm);
+  json.write();
 
   std::error_code ec;
   fs::remove_all(cacheDir, ec);

@@ -25,6 +25,7 @@ int main() {
               "gen(s)", "compile(s)", "cache");
   bench::hr(108);
 
+  bench::JsonReporter json("table2_simtime");
   double sumRatio[3] = {0, 0, 0};
   int count = 0;
   for (const auto& info : benchmarkSuite()) {
@@ -55,6 +56,19 @@ int main() {
         rac.execSeconds, r1, r2, r3, engine.generateSeconds(),
         engine.compileSeconds(),
         engine.compileCacheHit() ? "hit" : "miss");
+    json.row()
+        .str("model", info.name)
+        .count("steps", steps)
+        .num("accmos_exec_s", acc.execSeconds)
+        .num("sse_exec_s", sse.execSeconds)
+        .num("sseac_exec_s", ac.execSeconds)
+        .num("sserac_exec_s", rac.execSeconds)
+        .num("speedup_vs_sse", r1)
+        .num("speedup_vs_sseac", r2)
+        .num("speedup_vs_sserac", r3)
+        .num("generate_s", engine.generateSeconds())
+        .num("compile_s", engine.compileSeconds())
+        .flag("compile_cache_hit", engine.compileCacheHit());
   }
   bench::hr(108);
   std::printf("%-7s %9s %9s %9s %9s | %8.1fx %8.1fx %8.1fx   (paper avg: "
@@ -67,5 +81,6 @@ int main() {
       "AccMoS-vs-SSE ratios (paper §4 analysis). Absolute ratios are\n"
       "smaller than the paper's because the SSE stand-in is a lean\n"
       "in-process interpreter rather than a full Simulink engine.\n");
+  json.write();
   return 0;
 }

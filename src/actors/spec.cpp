@@ -1,8 +1,25 @@
 #include "actors/spec.h"
 
 #include <algorithm>
+#include <cctype>
 
 namespace accmos {
+
+std::string sanitizeIdent(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0])) != 0) {
+    out.insert(out.begin(), 'm');
+  }
+  return out;
+}
+
+std::string dataStoreSymbol(int index, const std::string& name) {
+  return "ds" + std::to_string(index) + "_" + sanitizeIdent(name);
+}
 
 void ActorSpec::validate(const FlatModel& fm, const FlatActor& fa) const {
   // Default structural check: element-wise actors need every input to be

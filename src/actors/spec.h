@@ -25,6 +25,17 @@
 
 namespace accmos {
 
+// `name` mapped to a valid C identifier fragment: alphanumerics kept,
+// everything else '_', 'm' prefixed when empty or digit-leading. Lossy —
+// distinct names can sanitize identically ("A.B" and "A_B"), so generated
+// symbols built from user-controlled names must also carry a unique index.
+std::string sanitizeIdent(const std::string& name);
+
+// The generated-code global for data store `index`. The index makes the
+// symbol collision-free even when two store names sanitize identically; the
+// sanitized name keeps the source readable.
+std::string dataStoreSymbol(int index, const std::string& name);
+
 // Per-actor persistent state (delay lines, integrator accumulators,
 // hysteresis flags, RNG streams).
 struct StateSpec {
@@ -183,7 +194,9 @@ class EmitContext {
   }
   std::string state() const { return "st" + std::to_string(fa_->id); }
   std::string store() const {
-    return "ds_" + fm_->dataStores[static_cast<size_t>(fa_->dataStore)].name;
+    return dataStoreSymbol(
+        fa_->dataStore,
+        fm_->dataStores[static_cast<size_t>(fa_->dataStore)].name);
   }
 
   DataType inType(int port) const {

@@ -42,15 +42,7 @@ Emitter::Emitter(const FlatModel& fm, const SimOptions& opt,
 }
 
 std::string Emitter::sanitize(const std::string& name) {
-  std::string out;
-  out.reserve(name.size());
-  for (char c : name) {
-    out.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
-  }
-  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0])) != 0) {
-    out.insert(out.begin(), 'm');
-  }
-  return out;
+  return sanitizeIdent(name);
 }
 
 // ---- EmitSink -------------------------------------------------------------
@@ -151,9 +143,11 @@ void Emitter::emitDeclarations(std::ostringstream& os) {
          << "];  // state of " << fa.path << "\n";
     }
   }
-  for (const auto& ds : fm_.dataStores) {
-    os << "static " << cpp(ds.type) << " ds_" << sanitize(ds.name) << "["
-       << ds.width << "];  // data store '" << ds.name << "'\n";
+  for (size_t d = 0; d < fm_.dataStores.size(); ++d) {
+    const auto& ds = fm_.dataStores[d];
+    os << "static " << cpp(ds.type) << " "
+       << dataStoreSymbol(static_cast<int>(d), ds.name) << "[" << ds.width
+       << "];  // data store '" << ds.name << "'\n";
   }
   // Test-case streams.
   for (size_t k = 0; k < fm_.rootInports.size(); ++k) {
@@ -267,10 +261,13 @@ void Emitter::emitModelInit(std::ostringstream& os) {
          << "\n";
     }
   }
-  for (const auto& ds : fm_.dataStores) {
+  for (size_t d = 0; d < fm_.dataStores.size(); ++d) {
+    const auto& ds = fm_.dataStores[d];
     os << "  for (int i = 0; i < " << ds.width << "; ++i) "
-       << storeFromDouble(ds.type, "ds_" + sanitize(ds.name) + "[i]",
-                          fmtD(ds.initial))
+       << storeFromDouble(
+              ds.type,
+              dataStoreSymbol(static_cast<int>(d), ds.name) + "[i]",
+              fmtD(ds.initial))
        << "\n";
   }
   for (size_t k = 0; k < fm_.rootInports.size(); ++k) {

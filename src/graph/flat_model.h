@@ -8,6 +8,7 @@
 // data-flow labelling / schedule-convert module).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,11 @@ struct FlatModel {
   std::vector<int> rootInports;
   std::vector<int> rootOutports;
   std::vector<DataStoreInfo> dataStores;
+  // Actors synthesized by the optimization pipeline (src/opt): a FlatActor's
+  // `src` normally points into the source Model, so replacements (e.g.
+  // folded Constants) are owned here. shared_ptr keeps FlatModel copyable
+  // without rewriting the raw pointers.
+  std::vector<std::shared_ptr<const Actor>> synthesized;
 
   const FlatActor& actor(int id) const {
     return actors[static_cast<size_t>(id)];

@@ -1,0 +1,101 @@
+#include "opt/passes.h"
+
+#include <algorithm>
+
+namespace accmos::opt {
+
+void compactModel(FlatModel& fm, const std::vector<char>& live,
+                  OptStats& stats) {
+  // Dense renumbering that PRESERVES relative order. Coverage and diagnosis
+  // plans assign slots by walking actors in id order, so an order-preserving
+  // renumber over survivors — none of which carried instrumentation slots if
+  // removed (liveActors made them roots) — leaves every bitmap layout and
+  // diagnostic index mapping consistent between the optimized and
+  // unoptimized runs.
+  std::vector<int> actorMap(fm.actors.size(), -1);
+  std::vector<int> sigMap(fm.signals.size(), -1);
+
+  int nextActor = 0;
+  for (const auto& fa : fm.actors) {
+    if (live[static_cast<size_t>(fa.id)] != 0) {
+      actorMap[static_cast<size_t>(fa.id)] = nextActor++;
+    }
+  }
+  // A signal survives iff its producer does; every input of a live actor is
+  // produced by a live actor (backward liveness), so no dangling reads.
+  // Producer-less signals (none today) are conservatively kept.
+  int nextSig = 0;
+  for (size_t s = 0; s < fm.signals.size(); ++s) {
+    int p = fm.signals[s].producerActor;
+    if (p < 0 || live[static_cast<size_t>(p)] != 0) {
+      sigMap[s] = nextSig++;
+    }
+  }
+
+  stats.actorsEliminated +=
+      static_cast<int>(fm.actors.size()) - nextActor;
+  stats.signalsEliminated +=
+      static_cast<int>(fm.signals.size()) - nextSig;
+
+  if (nextActor != static_cast<int>(fm.actors.size()) ||
+      nextSig != static_cast<int>(fm.signals.size())) {
+    std::vector<FlatActor> actors;
+    actors.reserve(static_cast<size_t>(nextActor));
+    for (auto& fa : fm.actors) {
+      if (actorMap[static_cast<size_t>(fa.id)] < 0) continue;
+      FlatActor out = std::move(fa);
+      out.id = actorMap[static_cast<size_t>(out.id)];
+      for (int& in : out.inputs) in = sigMap[static_cast<size_t>(in)];
+      for (int& o : out.outputs) o = sigMap[static_cast<size_t>(o)];
+      if (out.enableSignal >= 0) {
+        out.enableSignal = sigMap[static_cast<size_t>(out.enableSignal)];
+      }
+      actors.push_back(std::move(out));
+    }
+    fm.actors = std::move(actors);
+
+    std::vector<SignalInfo> signals;
+    signals.reserve(static_cast<size_t>(nextSig));
+    for (size_t s = 0; s < fm.signals.size(); ++s) {
+      if (sigMap[s] < 0) continue;
+      SignalInfo out = std::move(fm.signals[s]);
+      if (out.producerActor >= 0) {
+        out.producerActor = actorMap[static_cast<size_t>(out.producerActor)];
+      }
+      signals.push_back(std::move(out));
+    }
+    fm.signals = std::move(signals);
+
+    std::vector<int> schedule;
+    schedule.reserve(static_cast<size_t>(nextActor));
+    for (int id : fm.schedule) {
+      if (actorMap[static_cast<size_t>(id)] >= 0) {
+        schedule.push_back(actorMap[static_cast<size_t>(id)]);
+      }
+    }
+    fm.schedule = std::move(schedule);
+
+    for (int& id : fm.rootInports) id = actorMap[static_cast<size_t>(id)];
+    for (int& id : fm.rootOutports) id = actorMap[static_cast<size_t>(id)];
+  }
+
+  // Partition the step: un-gated delay-class actors first. Their eval reads
+  // state only (the scheduler gives them no input edges), so any position is
+  // topologically valid; grouping them gives the step loop a branch-free
+  // state-driven prologue. Gated ones stay put — their enable signal must be
+  // computed before they run. The update phase is untouched.
+  auto hoist = [&](int id) {
+    const FlatActor& fa = fm.actor(id);
+    return fa.delayClass && fa.enableSignal < 0;
+  };
+  int hoisted = 0;
+  for (int id : fm.schedule) {
+    if (hoist(id)) ++hoisted;
+  }
+  if (hoisted > 0) {
+    std::stable_partition(fm.schedule.begin(), fm.schedule.end(), hoist);
+    stats.stateUpdatesHoisted += hoisted;
+  }
+}
+
+}  // namespace accmos::opt

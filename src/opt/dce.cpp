@@ -1,0 +1,66 @@
+#include "opt/passes.h"
+
+#include "actors/spec.h"
+
+namespace accmos::opt {
+
+std::vector<char> liveActors(const FlatModel& fm, const SimOptions& opt) {
+  std::vector<char> live(fm.actors.size(), 0);
+  std::vector<int> work;
+  auto mark = [&](int id) {
+    if (id < 0) return;
+    if (live[static_cast<size_t>(id)] != 0) return;
+    live[static_cast<size_t>(id)] = 1;
+    work.push_back(id);
+  };
+
+  // Observation roots. Root Inports are unconditional: stimulus streams are
+  // addressed by port *position*, so removing one would shift every later
+  // port's random stream. Instrumented actors are roots so coverage and
+  // diagnosis results are provably unchanged — an eliminated actor never
+  // carried an enabled metric or check.
+  for (int id : fm.rootInports) mark(id);
+  for (int id : fm.rootOutports) mark(id);
+  for (const auto& fa : fm.actors) {
+    const std::string& ty = fa.type();
+    if (ty == "Scope" || ty == "Display" || ty == "Assertion" ||
+        ty == "StopSimulation") {
+      mark(fa.id);
+    }
+    if (fa.dataStore >= 0) mark(fa.id);
+    if (opt.coverage) {
+      CovTraits t = covTraitsFor(fa);
+      if (t.countsForActorCoverage || t.decisionOutcomes > 0 ||
+          t.numConditions > 0 || t.mcdc) {
+        mark(fa.id);
+      }
+    }
+    if (opt.diagnosis && !diagKindsFor(fm, fa).empty()) mark(fa.id);
+  }
+  for (const auto& path : opt.collectList) {
+    const FlatActor* fa = fm.findByPath(path);
+    if (fa != nullptr) mark(fa->id);
+  }
+  for (const auto& cd : opt.customDiagnostics) {
+    const FlatActor* fa = fm.findByPath(cd.actorPath);
+    if (fa != nullptr) mark(fa->id);
+  }
+
+  // Backward propagation: a live actor keeps the producers of its inputs
+  // (delay-class actors consume theirs in the update phase — same edges)
+  // and of its enable gate.
+  while (!work.empty()) {
+    int id = work.back();
+    work.pop_back();
+    const FlatActor& fa = fm.actor(id);
+    for (int in : fa.inputs) {
+      mark(fm.signal(in).producerActor);
+    }
+    if (fa.enableSignal >= 0) {
+      mark(fm.signal(fa.enableSignal).producerActor);
+    }
+  }
+  return live;
+}
+
+}  // namespace accmos::opt

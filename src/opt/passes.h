@@ -1,0 +1,62 @@
+// The individual optimization passes. Each operates on a FlatModel in
+// place; optimizeModel (pipeline.h) runs them in the standard order on a
+// copy. Exposed separately so tests can exercise one pass at a time.
+//
+// Semantics contract (see docs/OPTIMIZATION.md): for any model and any
+// SimOptions, running the optimized FlatModel on any engine produces
+// bit-identical outputs, coverage bitmaps, diagnostics, collected signals
+// and stop behaviour to running the original. Every pass is individually
+// guarded to uphold this — folding re-evaluates through the real ActorSpec
+// eval (the shared ir/arith.h semantics), liveness roots include every
+// instrumented actor, and identity bypasses are restricted to rewirings
+// that are exact at the bit level.
+#pragma once
+
+#include <vector>
+
+#include "graph/flat_model.h"
+#include "opt/stats.h"
+#include "sim/options.h"
+
+namespace accmos::opt {
+
+// Constant folding/propagation: evaluates actors whose inputs are all
+// compile-time constants using the actors' own eval() (so folded values are
+// bit-identical to what the runtime would compute, wrap/saturate semantics
+// included) and replaces them with synthesized Constant actors that keep
+// the original id, path and output signal. An actor is only rewritten when
+// the replacement is provably observation-equivalent: no diagnosis kinds
+// when diagnosis is on, coverage traits identical to Constant's when
+// coverage is on, and the synthesized Constant must re-evaluate to the
+// exact folded Value (which rejects values a parameter string cannot
+// round-trip, e.g. NaN payloads the parser does not reproduce).
+void constantFold(FlatModel& fm, const SimOptions& opt, OptStats& stats);
+
+// Algebraic identity simplification: rewires consumers around actors that
+// provably forward one input unchanged — Gain with gain == 1, single-input
+// Sum '+' (integer only: (-0.0) + 0.0 flips the sign bit in IEEE),
+// single-input Product '*', two-input Sum "++" with a constant-zero operand
+// (integer only), two-input Product "**" with a constant-one operand. The
+// bypassed actor itself is untouched — it still evaluates, so its coverage
+// marks and diagnostics are unchanged; dead-code elimination removes it
+// later only when nothing observes it.
+void simplifyIdentities(FlatModel& fm, const SimOptions& opt,
+                        OptStats& stats);
+
+// Dead-actor liveness: backward reachability from the observation roots —
+// root Inports (stimulus streams are positional), root Outports, Scope/
+// Display/Assertion/StopSimulation sinks, data-store actors, collectList
+// and custom-diagnostic targets, and (crucially) every actor carrying
+// enabled coverage or diagnosis instrumentation. Returns one flag per
+// actor id.
+std::vector<char> liveActors(const FlatModel& fm, const SimOptions& opt);
+
+// Schedule compaction: drops non-live actors and their signals, renumbers
+// the survivors densely *preserving relative order* (so coverage/diagnosis
+// plan layouts are unchanged — eliminated actors contributed zero slots),
+// and partitions the schedule so un-gated delay-class actors run first
+// (their eval reads state only, never current inputs).
+void compactModel(FlatModel& fm, const std::vector<char>& live,
+                  OptStats& stats);
+
+}  // namespace accmos::opt

@@ -11,6 +11,7 @@
 #include "actors/spec.h"
 #include "codegen/accmos_engine.h"
 #include "interp/interpreter.h"
+#include "opt/pipeline.h"
 
 namespace accmos {
 namespace {
@@ -103,8 +104,18 @@ CampaignResult runCampaign(const FlatModel& fm, const SimOptions& opt,
 
   auto wall0 = std::chrono::steady_clock::now();
   CampaignResult out;
+
+  // Optimize once for the whole campaign; every seed runs the same model,
+  // so the pipeline cost amortizes exactly like the one-off compile below.
+  FlatModel optimized;
+  const FlatModel* model = &fm;
+  if (opt.optimize) {
+    optimized = optimizeModel(fm, opt, &out.optStats);
+    model = &optimized;
+  }
+
   CoveragePlan plan = CoveragePlan::build(
-      fm, [](const FlatActor& fa) { return covTraitsFor(fa); });
+      *model, [](const FlatActor& fa) { return covTraitsFor(fa); });
   out.mergedBitmaps = CoverageRecorder(plan);
   out.workersUsed = resolveWorkers(opt, seeds.size());
 
@@ -113,14 +124,14 @@ CampaignResult runCampaign(const FlatModel& fm, const SimOptions& opt,
   // worker — executions are separate processes).
   std::unique_ptr<AccMoSEngine> engine;
   if (opt.engine == Engine::AccMoS) {
-    engine = std::make_unique<AccMoSEngine>(fm, opt, baseTests);
+    engine = std::make_unique<AccMoSEngine>(*model, opt, baseTests);
     out.generateSeconds = engine->generateSeconds();
     out.compileSeconds = engine->compileSeconds();
     out.compileCacheHit = engine->compileCacheHit();
   }
 
   std::vector<SimulationResult> results(seeds.size());
-  executeSeeds(fm, opt, baseTests, seeds, out.workersUsed, engine.get(),
+  executeSeeds(*model, opt, baseTests, seeds, out.workersUsed, engine.get(),
                results);
 
   // Merge strictly in seed order: coverage-bitmap unions, diagnostic

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "graph/flat_model.h"
+#include "opt/stats.h"
 #include "sim/options.h"
 #include "sim/result.h"
 #include "sim/testcase.h"
@@ -47,6 +48,9 @@ struct CampaignResult {
   double compileSeconds = 0.0;
   bool compileCacheHit = false;       // AccMoS: binary came from the cache
   size_t workersUsed = 1;
+  // The optimization pipeline runs once per campaign (not per seed);
+  // ran == false when SimOptions::optimize was off.
+  OptStats optStats;
 };
 
 // Runs `opt.maxSteps` steps per seed for each seed in `seeds`, using

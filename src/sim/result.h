@@ -11,6 +11,7 @@
 #include "cov/coverage.h"
 #include "diag/diagnosis.h"
 #include "ir/value.h"
+#include "opt/stats.h"
 
 namespace accmos {
 
@@ -50,6 +51,10 @@ struct SimulationResult {
 
   // Final value of each root outport (ordered by port index).
   std::vector<Value> finalOutputs;
+
+  // What the pre-engine optimization pipeline did (ran == false when
+  // SimOptions::optimize was off).
+  OptStats optStats;
 
   std::string summary() const;
 };

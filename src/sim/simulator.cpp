@@ -5,8 +5,27 @@
 #include "graph/flatten.h"
 #include "interp/compiled.h"
 #include "interp/interpreter.h"
+#include "opt/pipeline.h"
 
 namespace accmos {
+namespace {
+
+SimulationResult dispatch(const FlatModel& fm, const SimOptions& opt,
+                          const TestCaseSpec& tests) {
+  switch (opt.engine) {
+    case Engine::AccMoS:
+      return runAccMoS(fm, opt, tests);
+    case Engine::SSE:
+      return runInterpreter(fm, opt, tests);
+    case Engine::SSEac:
+      return runAccelerator(fm, opt, tests);
+    case Engine::SSErac:
+      return runRapidAccelerator(fm, opt, tests);
+  }
+  throw ModelError("unknown engine");
+}
+
+}  // namespace
 
 Simulator::Simulator(const Model& model)
     : fm_(flatten(model, Registry::instance())) {
@@ -31,17 +50,14 @@ SimulationResult Simulator::run(const SimOptions& opt,
                        " cannot stop on diagnostics (none are produced)");
     }
   }
-  switch (opt.engine) {
-    case Engine::AccMoS:
-      return runAccMoS(fm_, opt, tests);
-    case Engine::SSE:
-      return runInterpreter(fm_, opt, tests);
-    case Engine::SSEac:
-      return runAccelerator(fm_, opt, tests);
-    case Engine::SSErac:
-      return runRapidAccelerator(fm_, opt, tests);
+  if (opt.optimize) {
+    OptStats st;
+    FlatModel optimized = optimizeModel(fm_, opt, &st);
+    SimulationResult res = dispatch(optimized, opt, tests);
+    res.optStats = st;
+    return res;
   }
-  throw ModelError("unknown engine");
+  return dispatch(fm_, opt, tests);
 }
 
 SimulationResult simulate(const Model& model, const SimOptions& opt,

@@ -14,6 +14,7 @@
 
 #include "codegen/accmos_engine.h"
 #include "codegen/compiler_driver.h"
+#include "opt/pipeline.h"
 #include "sim/simulator.h"
 #include "test_util.h"
 
@@ -176,6 +177,43 @@ TEST_F(CompileCacheTest, OptOutDisablesReuse) {
     ++entries;
   }
   EXPECT_EQ(entries, 0u);
+}
+
+// The optimizer changes the generated source (folded/eliminated actors emit
+// differently), so optimized and unoptimized emissions must land in
+// distinct cache entries — sharing one would execute the wrong binary.
+TEST_F(CompileCacheTest, OptimizedEmissionGetsItsOwnCacheEntry) {
+  auto t = std::make_unique<Tiny>();
+  Actor& c = t->actor("C", "Constant");
+  c.params().setDouble("value", 3.0);
+  Actor& g = t->actor("G", "Gain");
+  g.params().setDouble("gain", 2.0);
+  t->outport("Out1", 1);
+  t->wire("C", "G");
+  t->wire("G", "Out1");
+  Simulator sim(t->model());
+  SimOptions opt = accOptions();
+  opt.coverage = false;  // let folding + DCE actually rewrite the model
+  opt.diagnosis = false;
+  TestCaseSpec tests;
+
+  OptStats st;
+  FlatModel optimized = optimizeModel(sim.flatModel(), opt, &st);
+  ASSERT_GT(st.actorsFolded, 0) << "expected G to fold to a Constant";
+
+  AccMoSEngine plain(sim.flatModel(), opt, tests);
+  AccMoSEngine opted(optimized, opt, tests);
+  EXPECT_NE(plain.generatedSource(), opted.generatedSource());
+  EXPECT_NE(CompilerDriver::cacheKey(plain.generatedSource(), opt.optFlag),
+            CompilerDriver::cacheKey(opted.generatedSource(), opt.optFlag));
+  EXPECT_NE(plain.exePath(), opted.exePath());
+  EXPECT_FALSE(plain.compileCacheHit());
+  EXPECT_FALSE(opted.compileCacheHit());
+
+  // Different binaries, identical observable behaviour.
+  auto a = plain.run();
+  auto b = opted.run();
+  test::expectSameOutputs(a, b, "optimized vs plain emission");
 }
 
 TEST_F(CompileCacheTest, CacheKeyIsStable) {

@@ -151,5 +151,147 @@ TEST_P(FuzzCampaignDifferential, ParallelAccMoSMatchesSequentialSse) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzCampaignDifferential,
                          ::testing::Values(511, 622, 733));
 
+// ---------------------------------------------------------------------------
+// Optimization-pipeline differentials: the optimized model must be
+// observation-equivalent to the unoptimized one — outputs, collected
+// signals, coverage bitmaps and diagnostics all bit-identical — under every
+// engine. The unoptimized SSE run is the ground-truth baseline.
+// ---------------------------------------------------------------------------
+
+void expectSameObservations(const SimulationResult& base,
+                            const SimulationResult& got,
+                            const std::string& label) {
+  test::expectSameOutputs(base, got, label);
+  EXPECT_EQ(base.stepsExecuted, got.stepsExecuted) << label;
+  ASSERT_EQ(base.collected.size(), got.collected.size()) << label;
+  for (size_t k = 0; k < base.collected.size(); ++k) {
+    EXPECT_EQ(base.collected[k].path, got.collected[k].path) << label;
+    EXPECT_EQ(base.collected[k].last, got.collected[k].last) << label;
+    EXPECT_EQ(base.collected[k].count, got.collected[k].count) << label;
+  }
+  for (CovMetric m : kAllCovMetrics) {
+    EXPECT_EQ(base.coverage.of(m).covered, got.coverage.of(m).covered)
+        << label << " " << covMetricName(m);
+    EXPECT_EQ(base.coverage.of(m).total, got.coverage.of(m).total)
+        << label << " " << covMetricName(m) << " total";
+    EXPECT_EQ(base.bitmaps.bits(m), got.bitmaps.bits(m))
+        << label << " " << covMetricName(m) << " bitmap";
+  }
+  ASSERT_EQ(base.diagnostics.size(), got.diagnostics.size()) << label;
+  for (size_t k = 0; k < base.diagnostics.size(); ++k) {
+    EXPECT_EQ(base.diagnostics[k].actorPath, got.diagnostics[k].actorPath)
+        << label;
+    EXPECT_EQ(base.diagnostics[k].kind, got.diagnostics[k].kind) << label;
+    EXPECT_EQ(base.diagnostics[k].firstStep, got.diagnostics[k].firstStep)
+        << label;
+    EXPECT_EQ(base.diagnostics[k].count, got.diagnostics[k].count) << label;
+  }
+}
+
+class FuzzOptDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzOptDifferential, OptimizedSseMatchesUnoptimizedBaseline) {
+  uint64_t seed = GetParam();
+  auto model = randomModel(seed);
+  TestCaseSpec tests;
+  tests.seed = seed * 13 + 3;
+  auto base = test::runOn(*model, Engine::SSE, 600, /*optimize=*/false, tests);
+  auto opt = test::runOn(*model, Engine::SSE, 600, /*optimize=*/true, tests);
+  EXPECT_FALSE(base.optStats.ran);
+  EXPECT_TRUE(opt.optStats.ran);
+  expectSameObservations(base, opt,
+                         "opt SSE seed " + std::to_string(seed));
+}
+
+TEST_P(FuzzOptDifferential, OptimizedFastModesMatchUnoptimizedBaseline) {
+  // With instrumentation off (the fast modes reject it) the pipeline
+  // actually rewrites the model — the hardest equivalence to hold.
+  uint64_t seed = GetParam();
+  auto model = randomModel(seed);
+  TestCaseSpec tests;
+  tests.seed = seed * 17 + 5;
+  SimOptions bare;
+  bare.engine = Engine::SSE;
+  bare.maxSteps = 600;
+  bare.coverage = false;
+  bare.diagnosis = false;
+  bare.optimize = false;
+  auto base = simulate(*model, bare, tests);
+
+  for (Engine e : {Engine::SSE, Engine::SSEac, Engine::SSErac}) {
+    SimOptions o = bare;
+    o.engine = e;
+    o.optimize = true;
+    auto got = simulate(*model, o, tests);
+    EXPECT_TRUE(got.optStats.ran);
+    test::expectSameOutputs(base, got,
+                            "bare opt " + std::string(engineName(e)) +
+                                " seed " + std::to_string(seed));
+    EXPECT_EQ(base.stepsExecuted, got.stepsExecuted) << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzOptDifferential,
+                         ::testing::Range<uint64_t>(1, 13));
+
+// Compiled path: optimized AccMoS against the unoptimized interpreter,
+// full instrumentation parity.
+class FuzzOptAccMoS : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzOptAccMoS, OptimizedGeneratedCodeMatchesUnoptimizedInterpreter) {
+  uint64_t seed = GetParam();
+  auto model = randomModel(seed);
+  TestCaseSpec tests;
+  tests.seed = seed;
+  auto base = test::runOn(*model, Engine::SSE, 500, /*optimize=*/false, tests);
+  auto acc = test::runOn(*model, Engine::AccMoS, 500, /*optimize=*/true,
+                         tests);
+  EXPECT_TRUE(acc.optStats.ran);
+  expectSameObservations(base, acc,
+                         "opt AccMoS seed " + std::to_string(seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzOptAccMoS,
+                         ::testing::Values(101, 202, 303, 404));
+
+// Campaign mode: the pipeline runs once per campaign; merged coverage
+// bitmaps and deduplicated diagnostics must match the unoptimized campaign.
+class FuzzOptCampaign : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzOptCampaign, OptimizedCampaignMatchesUnoptimized) {
+  uint64_t seed = GetParam();
+  auto model = randomModel(seed);
+  SplitMix64 rng(seed * 977 + 11);
+  std::vector<uint64_t> seeds;
+  for (size_t k = 0; k < 5; ++k) seeds.push_back(1 + rng.next() % 1000);
+
+  Simulator sim(*model);
+  SimOptions opt;
+  opt.engine = Engine::SSE;
+  opt.maxSteps = 300;
+  opt.optimize = false;
+  auto base = runCampaign(sim.flatModel(), opt, TestCaseSpec{}, seeds);
+  opt.optimize = true;
+  auto opted = runCampaign(sim.flatModel(), opt, TestCaseSpec{}, seeds);
+  EXPECT_FALSE(base.optStats.ran);
+  EXPECT_TRUE(opted.optStats.ran);
+
+  for (CovMetric m : kAllCovMetrics) {
+    EXPECT_EQ(base.cumulative.of(m).covered, opted.cumulative.of(m).covered)
+        << covMetricName(m);
+    EXPECT_EQ(base.mergedBitmaps.bits(m), opted.mergedBitmaps.bits(m))
+        << "merged " << covMetricName(m) << " bitmap";
+  }
+  ASSERT_EQ(base.diagnostics.size(), opted.diagnostics.size());
+  for (size_t k = 0; k < base.diagnostics.size(); ++k) {
+    EXPECT_EQ(base.diagnostics[k].actorPath, opted.diagnostics[k].actorPath);
+    EXPECT_EQ(base.diagnostics[k].kind, opted.diagnostics[k].kind);
+    EXPECT_EQ(base.diagnostics[k].firstStep, opted.diagnostics[k].firstStep);
+    EXPECT_EQ(base.diagnostics[k].count, opted.diagnostics[k].count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzOptCampaign, ::testing::Values(511, 733));
+
 }  // namespace
 }  // namespace accmos

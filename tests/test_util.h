@@ -95,6 +95,22 @@ inline SimulationResult runOn(Model& m, Engine engine, uint64_t steps,
   return simulate(m, opt, tests);
 }
 
+// Same, with explicit control over the pre-engine optimization pipeline —
+// the opt-mode differential tests compare optimize=true against the
+// optimize=false baseline.
+inline SimulationResult runOn(Model& m, Engine engine, uint64_t steps,
+                              bool optimize, const TestCaseSpec& tests) {
+  SimOptions opt;
+  opt.engine = engine;
+  opt.maxSteps = steps;
+  opt.optimize = optimize;
+  if (engine == Engine::SSEac || engine == Engine::SSErac) {
+    opt.coverage = false;
+    opt.diagnosis = false;
+  }
+  return simulate(m, opt, tests);
+}
+
 // Asserts two output vectors are identical (bit-exact).
 inline void expectSameOutputs(const SimulationResult& a,
                               const SimulationResult& b,

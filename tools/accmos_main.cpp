@@ -18,6 +18,8 @@
 //   --no-coverage --no-diagnosis       disable instrumentation
 //   --stop-on-diagnostic               halt at the first error
 //   --opt=-O2                          compiler flag for generated code
+//   --no-opt                           skip the model optimization pipeline
+//                                      (also: env ACCMOS_NO_OPT=1)
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -44,9 +46,9 @@ int usage() {
                "[--budget=S]\n"
                "             [--tests=F.csv] [--seed=N] [--collect=PATH]...\n"
                "             [--no-coverage] [--no-diagnosis] "
-               "[--stop-on-diagnostic] [--opt=-O3]\n"
+               "[--stop-on-diagnostic] [--opt=-O3] [--no-opt]\n"
                "  accmos campaign <model.xml> [--seeds=N] [--steps=M] "
-               "[--engine=accmos|sse] [--workers=W]\n"
+               "[--engine=accmos|sse] [--workers=W] [--no-opt]\n"
                "  accmos export-suite <directory>\n");
   return 2;
 }
@@ -143,6 +145,8 @@ int cmdRun(const std::string& path, const std::vector<std::string>& args) {
       opt.coverage = false;
     } else if (arg == "--no-diagnosis") {
       opt.diagnosis = false;
+    } else if (arg == "--no-opt") {
+      opt.optimize = false;
     } else if (arg == "--stop-on-diagnostic") {
       opt.stopOnDiagnostic = true;
     } else {
@@ -167,6 +171,7 @@ int cmdRun(const std::string& path, const std::vector<std::string>& args) {
 
   std::printf("engine   : %s\n",
               std::string(engineName(opt.engine)).c_str());
+  std::printf("optimize : %s\n", res.optStats.summary().c_str());
   std::printf("steps    : %llu%s\n",
               static_cast<unsigned long long>(res.stepsExecuted),
               res.stoppedEarly ? " (stopped early)" : "");
@@ -226,6 +231,8 @@ int cmdCampaign(const std::string& path,
         std::fprintf(stderr, "campaign engine must be accmos or sse\n");
         return 2;
       }
+    } else if (arg == "--no-opt") {
+      opt.optimize = false;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return 2;
@@ -241,6 +248,7 @@ int cmdCampaign(const std::string& path,
   std::printf("campaign : %d seeds x %llu steps on %s, %zu worker(s)\n",
               numSeeds, static_cast<unsigned long long>(opt.maxSteps),
               std::string(engineName(opt.engine)).c_str(), cr.workersUsed);
+  std::printf("optimize : %s\n", cr.optStats.summary().c_str());
   std::printf("%-10s %8s %8s %8s %8s   (cumulative)\n", "seed", "actor",
               "cond", "dec", "mcdc");
   for (const auto& sr : cr.perSeed) {
