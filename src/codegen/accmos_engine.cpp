@@ -13,6 +13,7 @@ AccMoSEngine::AccMoSEngine(const FlatModel& fm, const SimOptions& opt,
                            const TestCaseSpec& tests)
     : fm_(fm), opt_(opt), tests_(tests) {
   validateFlatModel(fm_);
+  tests_.validate();  // the emitter bakes the stimulus into generated code
   for (const auto& cd : opt_.customDiagnostics) {
     if (cd.kind == CustomDiagnostic::Kind::Expression &&
         cd.cppCondition.empty()) {

@@ -14,6 +14,13 @@ std::string_view covMetricName(CovMetric m) {
   return "?";
 }
 
+std::optional<CovMetric> covMetricFromName(std::string_view name) {
+  for (CovMetric m : kAllCovMetrics) {
+    if (name == covMetricName(m)) return m;
+  }
+  return std::nullopt;
+}
+
 CoveragePlan CoveragePlan::build(
     const FlatModel& fm,
     const std::function<CovTraits(const FlatActor&)>& traits) {
@@ -109,6 +116,63 @@ CoverageReport makeReport(const CoveragePlan& plan,
     e.covered = rec.coveredPoints(plan, m);
   }
   return report;
+}
+
+std::vector<UncoveredPoint> listUncovered(const FlatModel& fm,
+                                          const CoveragePlan& plan,
+                                          const CoverageRecorder& rec) {
+  // An empty recorder (no run yet) reads as all-unset.
+  auto unset = [&rec](CovMetric m, int slot) {
+    const auto& b = rec.bits(m);
+    return static_cast<size_t>(slot) >= b.size() || b[static_cast<size_t>(slot)] == 0;
+  };
+  std::vector<UncoveredPoint> out;
+  auto push = [&out, &fm](int actorId, CovMetric m, int slot,
+                          std::string outcome) {
+    UncoveredPoint p;
+    p.actorId = actorId;
+    p.actorPath = fm.actor(actorId).path;
+    p.metric = m;
+    p.slot = slot;
+    p.outcome = std::move(outcome);
+    out.push_back(std::move(p));
+  };
+  for (size_t a = 0; a < plan.numActors() && a < fm.actors.size(); ++a) {
+    int id = static_cast<int>(a);
+    const ActorCovInfo& info = plan.info(id);
+    if (info.actorSlot >= 0 && unset(CovMetric::Actor, info.actorSlot)) {
+      push(id, CovMetric::Actor, info.actorSlot, "never executed");
+    }
+    for (int d = 0; d < info.decisionOutcomes; ++d) {
+      if (unset(CovMetric::Decision, info.decisionBase + d)) {
+        push(id, CovMetric::Decision, info.decisionBase + d,
+             "decision outcome " + std::to_string(d + 1) + "/" +
+                 std::to_string(info.decisionOutcomes));
+      }
+    }
+    for (int c = 0; c < info.numConditions; ++c) {
+      for (int dir = 0; dir < 2; ++dir) {
+        int slot = info.conditionBase + 2 * c + dir;
+        if (unset(CovMetric::Condition, slot)) {
+          push(id, CovMetric::Condition, slot,
+               "condition " + std::to_string(c + 1) +
+                   (dir == 0 ? " never true" : " never false"));
+        }
+      }
+    }
+    for (int c = 0; c < info.numMcdcConditions; ++c) {
+      for (int dir = 0; dir < 2; ++dir) {
+        int slot = info.mcdcBase + 2 * c + dir;
+        if (unset(CovMetric::MCDC, slot)) {
+          push(id, CovMetric::MCDC, slot,
+               "condition " + std::to_string(c + 1) +
+                   " independence not shown while " +
+                   (dir == 0 ? "true" : "false"));
+        }
+      }
+    }
+  }
+  return out;
 }
 
 std::string CoverageReport::toString() const {

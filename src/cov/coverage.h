@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,7 @@ inline constexpr CovMetric kAllCovMetrics[] = {
     CovMetric::MCDC};
 
 std::string_view covMetricName(CovMetric m);
+std::optional<CovMetric> covMetricFromName(std::string_view name);
 
 // Per-actor coverage point layout. Slot ranges index into the per-metric
 // bitmaps of a CoverageRecorder.
@@ -135,5 +137,25 @@ struct CoverageReport {
 
 CoverageReport makeReport(const CoveragePlan& plan,
                           const CoverageRecorder& rec);
+
+// One unset bitmap slot resolved to its actor and outcome — what a test
+// campaign has not reached yet. The coverage-guided generator (src/gen)
+// treats the listing as its target set; the CLI prints it under
+// --show-uncovered.
+struct UncoveredPoint {
+  int actorId = -1;
+  std::string actorPath;
+  CovMetric metric = CovMetric::Actor;
+  int slot = -1;        // index into the metric's bitmap
+  std::string outcome;  // human-readable, e.g. "decision outcome 2/3"
+};
+
+// Enumerates every unset slot of `rec` under `plan` in actor-id order. A
+// default-constructed (empty) recorder yields every point of the plan.
+// MC/DC entries are per independence direction — two slots per condition —
+// so their count is 2*points-based-deficit at most, not the report deficit.
+std::vector<UncoveredPoint> listUncovered(const FlatModel& fm,
+                                          const CoveragePlan& plan,
+                                          const CoverageRecorder& rec);
 
 }  // namespace accmos

@@ -1,0 +1,75 @@
+// Corpus of a coverage-guided generation run (the feedback side the paper's
+// coverage collection motivates: once per-metric bitmaps exist and AccMoS
+// makes per-case runs cheap, coverage can steer the *search* for test
+// cases, not just validate them).
+//
+// Entries are append-only with dense ids and full provenance: which corpus
+// entry a case was mutated from, by which mutator, in which iteration, and
+// what it contributed (newly set bitmap slots, new diagnostic kinds).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cov/coverage.h"
+#include "sim/testcase.h"
+
+namespace accmos::gen {
+
+inline constexpr size_t kNoParent = static_cast<size_t>(-1);
+
+struct CorpusEntry {
+  size_t id = 0;
+  size_t parent = kNoParent;  // kNoParent for bootstrap entries
+  std::string mutation;       // mutator name; "bootstrap" for round 0
+  size_t iteration = 0;       // iteration the entry was accepted in
+  TestCaseSpec spec;
+  CoverageReport coverage;    // this entry's own single-run coverage
+  size_t newBits = 0;         // bitmap slots this entry set first
+  size_t newDiagKinds = 0;    // new distinct (actor, diag kind) pairs
+};
+
+class Corpus {
+ public:
+  size_t add(CorpusEntry e) {
+    e.id = entries_.size();
+    entries_.push_back(std::move(e));
+    return entries_.back().id;
+  }
+  const CorpusEntry& entry(size_t k) const { return entries_[k]; }
+  const std::vector<CorpusEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  std::vector<CorpusEntry> entries_;
+};
+
+// Exact text round-trip for corpus artifacts: seed, per-port ranges and
+// sequences, doubles written so they parse back bit-identically.
+std::string specToText(const TestCaseSpec& spec);
+TestCaseSpec specFromText(const std::string& text);  // throws ModelError
+
+// FNV-1a over every entry's text form plus its provenance — the
+// reproducibility fingerprint tests and benches compare across worker
+// counts and reruns.
+uint64_t corpusFingerprint(const Corpus& corpus);
+
+// Explicit-sequence equivalent of `spec` over `steps` steps for a model
+// with `numPorts` *scalar* root inports: draws the same per-port SplitMix64
+// streams the engines would, so replaying the result is bit-identical to
+// replaying the seeded spec for up to `steps` steps. Throws ModelError for
+// steps == 0. (Vector inports draw one value per element and cannot be
+// represented as one CSV column — callers gate on scalar-ports models.)
+TestCaseSpec materializeSpec(const TestCaseSpec& spec, size_t numPorts,
+                             uint64_t steps);
+
+// Writes the corpus as replayable artifacts under `dir` (created if
+// needed): entry_NNNN.spec (native text, always exact) and — when
+// `scalarPorts` — entry_NNNN.csv materialized over `steps` steps for
+// `accmos run --tests=...`, plus a MANIFEST.tsv with provenance.
+void writeCorpusDir(const Corpus& corpus, const std::string& dir,
+                    size_t numPorts, uint64_t steps, bool scalarPorts);
+
+}  // namespace accmos::gen

@@ -1,0 +1,228 @@
+#include "gen/mutate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace accmos::gen {
+namespace {
+
+// Boundary magnets: type edges, comparison-threshold neighborhoods and
+// overflow triggers — the values guarded/decision-heavy regions branch on.
+constexpr double kInteresting[] = {
+    0.0,    1.0,     -1.0,     0.5,     2.0,     -2.0,    10.0,
+    127.0,  128.0,   -128.0,   255.0,   256.0,   1000.0,  32767.0,
+    32768.0, -32768.0, 65535.0, 65536.0, 1.0e6,  -1.0e6,  1.0e9,
+};
+constexpr size_t kNumInteresting = sizeof(kInteresting) / sizeof(double);
+constexpr double kRangeLimit = 1.0e12;   // keep mutated bounds finite
+constexpr size_t kMaxSequence = 4096;    // cap sequence growth
+
+double pickInteresting(SplitMix64& rng) {
+  return kInteresting[rng.next() % kNumInteresting];
+}
+
+double clampFinite(double v) {
+  if (std::isnan(v)) return 0.0;
+  return std::min(kRangeLimit, std::max(-kRangeLimit, v));
+}
+
+// Re-establishes the validate() invariants after arithmetic on a port.
+void sanitize(PortStimulus& p) {
+  if (p.sequence.empty()) {
+    p.min = clampFinite(p.min);
+    p.max = clampFinite(p.max);
+    if (p.min > p.max) std::swap(p.min, p.max);
+  } else {
+    for (double& v : p.sequence) v = clampFinite(v);
+  }
+}
+
+PortStimulus& portAt(TestCaseSpec& spec, size_t p) {
+  while (spec.ports.size() <= p) spec.ports.push_back(spec.defaultPort);
+  return spec.ports[p];
+}
+
+double width(const PortStimulus& p) {
+  double w = p.max - p.min;
+  return (std::isfinite(w) && w > 0.0) ? w : 1.0;
+}
+
+// ---- mutators --------------------------------------------------------------
+
+void seedReroll(TestCaseSpec& spec, SplitMix64& rng) {
+  spec.seed = rng.next();
+}
+
+void seedStep(TestCaseSpec& spec, SplitMix64& rng) {
+  spec.seed += 1 + (rng.next() & 0xF);
+}
+
+void rangeWiden(PortStimulus& p, SplitMix64& rng) {
+  double f = 1.5 + rng.nextUnit() * 2.5;
+  double c = (p.min + p.max) / 2.0;
+  double half = width(p) / 2.0 * f;
+  p.min = c - half;
+  p.max = c + half;
+}
+
+void rangeNarrow(PortStimulus& p, SplitMix64& rng) {
+  double w = width(p);
+  double center = p.min + rng.nextUnit() * w;
+  double half = w * (0.05 + rng.nextUnit() * 0.2);
+  p.min = center - half;
+  p.max = center + half;
+}
+
+void rangeShift(PortStimulus& p, SplitMix64& rng) {
+  double d = (rng.nextUnit() * 2.0 - 1.0) * width(p);
+  p.min += d;
+  p.max += d;
+}
+
+// Straddles an interesting value so threshold comparisons see both sides.
+void rangeBoundary(PortStimulus& p, SplitMix64& rng) {
+  double v = pickInteresting(rng);
+  p.min = v - 1.0 - rng.nextUnit();
+  p.max = v + 1.0 + rng.nextUnit();
+}
+
+// Turns a seeded range into a short explicit sequence drawn from it, the
+// entry point for the sequence mutators below.
+void seqSeed(PortStimulus& p, SplitMix64& rng) {
+  size_t len = 4 + rng.next() % 13;
+  p.sequence.clear();
+  for (size_t k = 0; k < len; ++k) {
+    p.sequence.push_back(rng.nextUniform(p.min, p.max));
+  }
+}
+
+void seqHavoc(PortStimulus& p, SplitMix64& rng) {
+  size_t n = std::max<size_t>(1, p.sequence.size() / 4);
+  size_t hits = 1 + rng.next() % n;
+  for (size_t k = 0; k < hits; ++k) {
+    double& v = p.sequence[rng.next() % p.sequence.size()];
+    switch (rng.next() % 5) {
+      case 0: v = -v; break;
+      case 1: v = 0.0; break;
+      case 2: v *= std::ldexp(1.0, static_cast<int>(rng.next() % 9) - 4); break;
+      case 3: v = pickInteresting(rng); break;
+      default: v += (rng.nextUnit() * 2.0 - 1.0); break;
+    }
+  }
+}
+
+void seqInsert(PortStimulus& p, SplitMix64& rng) {
+  size_t n = 1 + rng.next() % 8;
+  size_t pos = rng.next() % (p.sequence.size() + 1);
+  std::vector<double> ins;
+  for (size_t k = 0; k < n; ++k) {
+    ins.push_back(rng.next() % 2 == 0 ? pickInteresting(rng)
+                                      : rng.nextUniform(-2.0, 2.0));
+  }
+  p.sequence.insert(p.sequence.begin() + static_cast<long>(pos), ins.begin(),
+                    ins.end());
+  if (p.sequence.size() > kMaxSequence) p.sequence.resize(kMaxSequence);
+}
+
+void seqDelete(PortStimulus& p, SplitMix64& rng) {
+  if (p.sequence.size() <= 1) return;
+  size_t n = 1 + rng.next() % (p.sequence.size() / 2 + 1);
+  n = std::min(n, p.sequence.size() - 1);
+  size_t pos = rng.next() % (p.sequence.size() - n + 1);
+  p.sequence.erase(p.sequence.begin() + static_cast<long>(pos),
+                   p.sequence.begin() + static_cast<long>(pos + n));
+}
+
+// Splices a segment of another corpus entry's same-port sequence into this
+// one (sequence crossover).
+void seqSplice(PortStimulus& p, const PortStimulus& other, SplitMix64& rng) {
+  if (other.sequence.empty()) {
+    seqHavoc(p, rng);
+    return;
+  }
+  size_t n = 1 + rng.next() % other.sequence.size();
+  size_t from = rng.next() % (other.sequence.size() - n + 1);
+  size_t pos = rng.next() % (p.sequence.size() + 1);
+  p.sequence.insert(p.sequence.begin() + static_cast<long>(pos),
+                    other.sequence.begin() + static_cast<long>(from),
+                    other.sequence.begin() + static_cast<long>(from + n));
+  if (p.sequence.size() > kMaxSequence) p.sequence.resize(kMaxSequence);
+}
+
+}  // namespace
+
+const std::vector<std::string>& mutatorNames() {
+  static const std::vector<std::string> names = {
+      "seed-reroll",  "seed-step",   "port-crossover", "range-widen",
+      "range-narrow", "range-shift", "range-boundary", "seq-seed",
+      "seq-havoc",    "seq-insert",  "seq-delete",     "seq-splice",
+      "seq-clear",
+  };
+  return names;
+}
+
+Mutant mutate(const Corpus& corpus, size_t parent, const MutationContext& ctx,
+              SplitMix64& rng) {
+  Mutant m;
+  m.parent = parent;
+  m.spec = corpus.entry(parent).spec;
+  size_t numPorts = std::max<size_t>(ctx.numPorts, 1);
+  size_t p = rng.next() % numPorts;
+  bool hasSeq = !m.spec.port(static_cast<int>(p)).sequence.empty();
+
+  // Applicable mutators for the chosen port's current mode, plus the
+  // spec-global ones. The list layout is fixed, so the rng draw below is
+  // reproducible.
+  std::vector<std::string> applicable = {"seed-reroll", "seed-step"};
+  if (corpus.size() > 1) applicable.push_back("port-crossover");
+  if (!hasSeq) {
+    applicable.insert(applicable.end(),
+                      {"range-widen", "range-narrow", "range-shift",
+                       "range-boundary", "seq-seed"});
+  } else {
+    applicable.insert(applicable.end(),
+                      {"seq-havoc", "seq-insert", "seq-delete", "seq-clear"});
+    if (corpus.size() > 1) applicable.push_back("seq-splice");
+  }
+  m.mutation = applicable[rng.next() % applicable.size()];
+
+  if (m.mutation == "seed-reroll") {
+    seedReroll(m.spec, rng);
+    return m;
+  }
+  if (m.mutation == "seed-step") {
+    seedStep(m.spec, rng);
+    return m;
+  }
+
+  PortStimulus& port = portAt(m.spec, p);
+  if (m.mutation == "port-crossover") {
+    size_t other = rng.next() % corpus.size();
+    port = corpus.entry(other).spec.port(static_cast<int>(p));
+  } else if (m.mutation == "range-widen") {
+    rangeWiden(port, rng);
+  } else if (m.mutation == "range-narrow") {
+    rangeNarrow(port, rng);
+  } else if (m.mutation == "range-shift") {
+    rangeShift(port, rng);
+  } else if (m.mutation == "range-boundary") {
+    rangeBoundary(port, rng);
+  } else if (m.mutation == "seq-seed") {
+    seqSeed(port, rng);
+  } else if (m.mutation == "seq-havoc") {
+    seqHavoc(port, rng);
+  } else if (m.mutation == "seq-insert") {
+    seqInsert(port, rng);
+  } else if (m.mutation == "seq-delete") {
+    seqDelete(port, rng);
+  } else if (m.mutation == "seq-clear") {
+    port.sequence.clear();
+  } else if (m.mutation == "seq-splice") {
+    size_t other = rng.next() % corpus.size();
+    seqSplice(port, corpus.entry(other).spec.port(static_cast<int>(p)), rng);
+  }
+  sanitize(port);
+  return m;
+}
+
+}  // namespace accmos::gen

@@ -1,0 +1,41 @@
+// Deterministic mutation engine over TestCaseSpecs.
+//
+// Every mutator is a pure function of (parent spec, corpus, rng state): the
+// same corpus, parent choice and SplitMix64 state produce the same mutant,
+// which is what makes a whole generation run reproducible from one
+// generator seed. Mutators always emit a spec that passes
+// TestCaseSpec::validate() — ranges stay finite and ordered, sequences stay
+// finite and non-empty.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gen/corpus.h"
+#include "ir/arith.h"
+
+namespace accmos::gen {
+
+// Model-shape facts the mutators respect.
+struct MutationContext {
+  size_t numPorts = 1;       // root inports of the model under test
+  uint64_t stepsPerRun = 0;  // simulation horizon; bounds sequence growth
+};
+
+struct Mutant {
+  TestCaseSpec spec;
+  std::string mutation;   // mutator name, e.g. "range-widen"
+  size_t parent = kNoParent;
+};
+
+// Every mutator name, for documentation and tests.
+const std::vector<std::string>& mutatorNames();
+
+// Applies one rng-chosen mutator to `corpus.entry(parent)`. Range mutators
+// apply to ports still driven by a seeded range, sequence mutators
+// (havoc/insert/delete/splice) to ports carrying explicit sequences;
+// seed perturbation and per-port crossover apply everywhere.
+Mutant mutate(const Corpus& corpus, size_t parent, const MutationContext& ctx,
+              SplitMix64& rng);
+
+}  // namespace accmos::gen

@@ -3,7 +3,6 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
-#include <map>
 #include <mutex>
 #include <thread>
 #include <tuple>
@@ -31,38 +30,90 @@ void mergeDiagnostics(std::map<std::tuple<int, DiagKind, std::string>,
   }
 }
 
-size_t resolveWorkers(const SimOptions& opt, size_t numSeeds) {
+size_t resolveWorkers(const SimOptions& opt, size_t numJobs) {
   size_t workers = opt.campaign.workers;
   if (workers == 0) {
     workers = std::max(1u, std::thread::hardware_concurrency());
   }
-  return std::min(workers, numSeeds);
+  return std::min(workers, numJobs);
 }
 
-// Runs every seed, storing the per-seed result at the seed's index. With
-// more than one worker, seeds are pulled from a shared counter by a pool of
-// threads: the SSE engine gets one interpreter instance per worker, the
-// AccMoS engine launches concurrent executions of the one compiled binary
-// (each child process writes its result stream to its own pipe). The first
-// exception thrown by any worker is rethrown on the calling thread.
-void executeSeeds(const FlatModel& fm, const SimOptions& opt,
-                  const TestCaseSpec& baseTests,
-                  const std::vector<uint64_t>& seeds, size_t workers,
-                  AccMoSEngine* engine, std::vector<SimulationResult>& out) {
-  auto runRange = [&](std::atomic<size_t>& next,
+void checkInstrumentedEngine(const SimOptions& opt) {
+  if (opt.engine != Engine::SSE && opt.engine != Engine::AccMoS) {
+    throw ModelError(
+        "test campaigns need an instrumented engine (SSE or AccMoS)");
+  }
+  if (!opt.coverage) {
+    throw ModelError("test campaigns accumulate coverage; enable it");
+  }
+}
+
+}  // namespace
+
+SpecEvaluator::SpecEvaluator(const FlatModel& fm, const SimOptions& opt)
+    : fm_(fm), opt_(opt) {
+  checkInstrumentedEngine(opt_);
+}
+
+SpecEvaluator::~SpecEvaluator() = default;
+
+AccMoSEngine* SpecEvaluator::engineFor(const TestCaseSpec& spec) {
+  std::string key = spec.shapeKey();
+  auto it = engines_.find(key);
+  if (it != engines_.end()) return it->second.get();
+  // Normalize the seed out of the generated source so seed-only variants
+  // of a spec map to one compiled binary (the seed is a runtime argument).
+  TestCaseSpec shape = spec;
+  shape.seed = 1;
+  auto engine = std::make_unique<AccMoSEngine>(fm_, opt_, shape);
+  ++enginesBuilt_;
+  if (!engine->compileCacheHit()) ++cacheMisses_;
+  generateSeconds_ += engine->generateSeconds();
+  compileSeconds_ += engine->compileSeconds();
+  return engines_.emplace(std::move(key), std::move(engine))
+      .first->second.get();
+}
+
+// Runs every spec, storing the result at the spec's index. With more than
+// one worker, specs are pulled from a shared counter by a pool of threads:
+// the SSE engine gets one persistent interpreter instance per worker, the
+// AccMoS engine launches concurrent executions of the per-shape compiled
+// binaries (each child process writes its result stream to its own pipe).
+// The first exception thrown by any worker is rethrown on the caller.
+std::vector<SimulationResult> SpecEvaluator::evaluate(
+    const std::vector<TestCaseSpec>& specs) {
+  if (specs.empty()) {
+    throw ModelError("spec batch evaluation needs at least one test case");
+  }
+  for (const auto& spec : specs) spec.validate();
+
+  // AccMoS: build (or reuse) the per-shape engines serially before the
+  // fan-out — compilation already parallelizes poorly and the serial order
+  // keeps construction bookkeeping deterministic.
+  std::vector<AccMoSEngine*> engineOf;
+  if (opt_.engine == Engine::AccMoS) {
+    engineOf.reserve(specs.size());
+    for (const auto& spec : specs) engineOf.push_back(engineFor(spec));
+  }
+
+  size_t workers = resolveWorkers(opt_, specs.size());
+  if (opt_.engine == Engine::SSE) {
+    if (interps_.size() < workers) interps_.resize(workers);
+  }
+
+  std::vector<SimulationResult> out(specs.size());
+  auto runRange = [&](size_t worker, std::atomic<size_t>& next,
                       std::exception_ptr& error, std::mutex& errMutex) {
-    std::unique_ptr<Interpreter> interp;
-    TestCaseSpec tests = baseTests;
     for (;;) {
       size_t k = next.fetch_add(1);
-      if (k >= seeds.size()) break;
+      if (k >= specs.size()) break;
       try {
-        if (opt.engine == Engine::SSE) {
-          if (!interp) interp = std::make_unique<Interpreter>(fm, opt);
-          tests.seed = seeds[k];
-          out[k] = interp->run(tests);
+        if (opt_.engine == Engine::SSE) {
+          auto& interp = interps_[worker];
+          if (!interp) interp = std::make_unique<Interpreter>(fm_, opt_);
+          out[k] = interp->run(specs[k]);
         } else {
-          out[k] = engine->run(0, -1.0, seeds[k]);
+          out[k] = engineOf[k]->run(0, -1.0, specs[k].seed);
         }
       } catch (...) {
         std::lock_guard<std::mutex> lock(errMutex);
@@ -76,37 +127,31 @@ void executeSeeds(const FlatModel& fm, const SimOptions& opt,
   std::exception_ptr error;
   std::mutex errMutex;
   if (workers <= 1) {
-    runRange(next, error, errMutex);
+    runRange(0, next, error, errMutex);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&] { runRange(next, error, errMutex); });
+      pool.emplace_back([&, w] { runRange(w, next, error, errMutex); });
     }
     for (auto& t : pool) t.join();
   }
   if (error) std::rethrow_exception(error);
+  return out;
 }
 
-}  // namespace
-
-CampaignResult runCampaign(const FlatModel& fm, const SimOptions& opt,
-                           const TestCaseSpec& baseTests,
-                           const std::vector<uint64_t>& seeds) {
-  if (opt.engine != Engine::SSE && opt.engine != Engine::AccMoS) {
-    throw ModelError(
-        "test campaigns need an instrumented engine (SSE or AccMoS)");
+CampaignResult runCampaignSpecs(const FlatModel& fm, const SimOptions& opt,
+                                const std::vector<TestCaseSpec>& specs) {
+  checkInstrumentedEngine(opt);
+  if (specs.empty()) {
+    throw ModelError("test campaign needs at least one test case");
   }
-  if (!opt.coverage) {
-    throw ModelError("test campaigns accumulate coverage; enable it");
-  }
-  if (seeds.empty()) throw ModelError("test campaign needs at least one seed");
 
   auto wall0 = std::chrono::steady_clock::now();
   CampaignResult out;
 
-  // Optimize once for the whole campaign; every seed runs the same model,
-  // so the pipeline cost amortizes exactly like the one-off compile below.
+  // Optimize once for the whole campaign; every spec runs the same model,
+  // so the pipeline cost amortizes exactly like the one-off compiles below.
   FlatModel optimized;
   const FlatModel* model = &fm;
   if (opt.optimize) {
@@ -117,37 +162,29 @@ CampaignResult runCampaign(const FlatModel& fm, const SimOptions& opt,
   CoveragePlan plan = CoveragePlan::build(
       *model, [](const FlatActor& fa) { return covTraitsFor(fa); });
   out.mergedBitmaps = CoverageRecorder(plan);
-  out.workersUsed = resolveWorkers(opt, seeds.size());
+  out.workersUsed = resolveWorkers(opt, specs.size());
 
-  // Generate + compile once; the generated program takes the stimulus seed
-  // as a runtime argument, so the same binary serves every seed (and every
-  // worker — executions are separate processes).
-  std::unique_ptr<AccMoSEngine> engine;
-  if (opt.engine == Engine::AccMoS) {
-    engine = std::make_unique<AccMoSEngine>(*model, opt, baseTests);
-    out.generateSeconds = engine->generateSeconds();
-    out.compileSeconds = engine->compileSeconds();
-    out.compileCacheHit = engine->compileCacheHit();
-  }
+  SpecEvaluator evaluator(*model, opt);
+  std::vector<SimulationResult> results = evaluator.evaluate(specs);
+  out.generateSeconds = evaluator.generateSeconds();
+  out.compileSeconds = evaluator.compileSeconds();
+  out.compileCacheHit =
+      evaluator.enginesBuilt() > 0 && evaluator.allCompileCacheHits();
 
-  std::vector<SimulationResult> results(seeds.size());
-  executeSeeds(*model, opt, baseTests, seeds, out.workersUsed, engine.get(),
-               results);
-
-  // Merge strictly in seed order: coverage-bitmap unions, diagnostic
-  // deduplication and the per-seed cumulative reports are computed exactly
-  // as the sequential path would, so the campaign outcome is independent of
+  // Merge strictly in spec order: coverage-bitmap unions, diagnostic
+  // deduplication and the per-spec cumulative reports are computed exactly
+  // as a sequential run would, so the campaign outcome is independent of
   // the execution interleaving above.
   std::map<std::tuple<int, DiagKind, std::string>, DiagRecord> merged;
-  out.perSeed.reserve(seeds.size());
-  for (size_t k = 0; k < seeds.size(); ++k) {
+  out.perSeed.reserve(specs.size());
+  for (size_t k = 0; k < specs.size(); ++k) {
     const SimulationResult& res = results[k];
     out.mergedBitmaps.merge(res.bitmaps);
     mergeDiagnostics(merged, res.diagnostics);
     out.totalExecSeconds += res.execSeconds;
 
     CampaignSeedResult sr;
-    sr.seed = seeds[k];
+    sr.seed = specs[k].seed;
     sr.steps = res.stepsExecuted;
     sr.execSeconds = res.execSeconds;
     sr.coverage = res.coverage;
@@ -166,6 +203,15 @@ CampaignResult runCampaign(const FlatModel& fm, const SimOptions& opt,
   auto wall1 = std::chrono::steady_clock::now();
   out.wallSeconds = std::chrono::duration<double>(wall1 - wall0).count();
   return out;
+}
+
+CampaignResult runCampaign(const FlatModel& fm, const SimOptions& opt,
+                           const TestCaseSpec& baseTests,
+                           const std::vector<uint64_t>& seeds) {
+  if (seeds.empty()) throw ModelError("test campaign needs at least one seed");
+  std::vector<TestCaseSpec> specs(seeds.size(), baseTests);
+  for (size_t k = 0; k < seeds.size(); ++k) specs[k].seed = seeds[k];
+  return runCampaignSpecs(fm, opt, specs);
 }
 
 }  // namespace accmos

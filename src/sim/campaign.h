@@ -16,6 +16,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "graph/flat_model.h"
@@ -46,7 +49,7 @@ struct CampaignResult {
   double wallSeconds = 0.0;           // wall clock for the whole campaign
   double generateSeconds = 0.0;       // AccMoS one-off costs
   double compileSeconds = 0.0;
-  bool compileCacheHit = false;       // AccMoS: binary came from the cache
+  bool compileCacheHit = false;       // AccMoS: every binary came cached
   size_t workersUsed = 1;
   // The optimization pipeline runs once per campaign (not per seed);
   // ran == false when SimOptions::optimize was off.
@@ -60,5 +63,62 @@ struct CampaignResult {
 CampaignResult runCampaign(const FlatModel& fm, const SimOptions& opt,
                            const TestCaseSpec& baseTests,
                            const std::vector<uint64_t>& seeds);
+
+// Runs a *heterogeneous* batch as a campaign: each spec carries its own
+// ranges/sequences and seed (the workload the coverage-guided generator
+// produces, where candidates are mutants of many base specs, not seeds of
+// one). The model is optimized once, every spec runs for opt.maxSteps over
+// the worker pool, and results are merged strictly in spec order — the
+// outcome is bit-identical for any worker count. `perSeed` holds one row
+// per spec, in spec order; its `seed` field is the spec's seed.
+CampaignResult runCampaignSpecs(const FlatModel& fm, const SimOptions& opt,
+                                const std::vector<TestCaseSpec>& specs);
+
+// The batch-evaluation primitive under runCampaignSpecs, reusable across
+// batches: the coverage-guided generator holds one evaluator for the whole
+// search so compiled simulators persist between iterations.
+//
+// The model is used exactly as given — no optimization pass is applied
+// here; callers that want the pipeline run it once up front (as
+// runCampaignSpecs does). For Engine::SSE each worker keeps one persistent
+// interpreter instance. For Engine::AccMoS one simulator is generated and
+// compiled per distinct stimulus *shape* (TestCaseSpec::shapeKey — the
+// seed is normalized out and passed as a runtime argument), cached for the
+// evaluator's lifetime, and executed as concurrent child processes; the
+// content-addressed compile cache absorbs repeated shapes across
+// evaluators and runs.
+class SpecEvaluator {
+ public:
+  // Throws ModelError unless `opt` names an instrumented engine (SSE or
+  // AccMoS) with coverage enabled.
+  SpecEvaluator(const FlatModel& fm, const SimOptions& opt);
+  ~SpecEvaluator();
+
+  SpecEvaluator(const SpecEvaluator&) = delete;
+  SpecEvaluator& operator=(const SpecEvaluator&) = delete;
+
+  // Validates and runs every spec for opt.maxSteps, fanning the batch over
+  // opt.campaign.workers workers; out[k] is spec k's result regardless of
+  // worker count or interleaving.
+  std::vector<SimulationResult> evaluate(const std::vector<TestCaseSpec>& specs);
+
+  // AccMoS bookkeeping (all zero / true for SSE).
+  size_t enginesBuilt() const { return enginesBuilt_; }
+  double generateSeconds() const { return generateSeconds_; }
+  double compileSeconds() const { return compileSeconds_; }
+  bool allCompileCacheHits() const { return cacheMisses_ == 0; }
+
+ private:
+  class AccMoSEngine* engineFor(const TestCaseSpec& spec);
+
+  const FlatModel& fm_;
+  SimOptions opt_;
+  std::map<std::string, std::unique_ptr<class AccMoSEngine>> engines_;
+  std::vector<std::unique_ptr<class Interpreter>> interps_;  // per worker
+  size_t enginesBuilt_ = 0;
+  size_t cacheMisses_ = 0;
+  double generateSeconds_ = 0.0;
+  double compileSeconds_ = 0.0;
+};
 
 }  // namespace accmos

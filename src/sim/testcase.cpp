@@ -1,10 +1,55 @@
 #include "sim/testcase.h"
 
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 namespace accmos {
+namespace {
+
+// Shortest representation that parses back to the same double (%.17g is
+// always exact; try the shorter forms first for readable files).
+std::string fmtExact(double v) {
+  char buf[40];
+  for (int prec = 9; prec <= 17; prec += 4) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void PortStimulus::validate(const std::string& what) const {
+  if (sequence.empty()) {
+    if (std::isnan(min) || std::isnan(max) || std::isinf(min) ||
+        std::isinf(max)) {
+      throw ModelError(what + ": range bounds must be finite (got [" +
+                       fmtExact(min) + ", " + fmtExact(max) + "))");
+    }
+    if (min > max) {
+      throw ModelError(what + ": range min " + fmtExact(min) +
+                       " exceeds max " + fmtExact(max));
+    }
+  } else {
+    for (size_t k = 0; k < sequence.size(); ++k) {
+      if (!std::isfinite(sequence[k])) {
+        throw ModelError(what + ": sequence element " + std::to_string(k) +
+                         " is not finite");
+      }
+    }
+  }
+}
+
+void TestCaseSpec::validate() const {
+  for (size_t k = 0; k < ports.size(); ++k) {
+    ports[k].validate("test-case port " + std::to_string(k + 1));
+  }
+  defaultPort.validate("test-case default port");
+}
 
 TestCaseSpec TestCaseSpec::fromCsv(const std::string& path) {
   std::ifstream in(path);
@@ -12,7 +57,9 @@ TestCaseSpec TestCaseSpec::fromCsv(const std::string& path) {
   TestCaseSpec spec;
   std::string line;
   size_t columns = 0;
+  size_t lineNo = 0;
   while (std::getline(in, line)) {
+    ++lineNo;
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ls(line);
     std::string cell;
@@ -24,18 +71,79 @@ TestCaseSpec TestCaseSpec::fromCsv(const std::string& path) {
     }
     if (columns == 0) columns = col;
     if (col != columns) {
-      throw ModelError("test-case CSV '" + path +
-                       "' has ragged rows (expected " +
-                       std::to_string(columns) + " columns)");
+      throw ModelError("test-case CSV '" + path + "' line " +
+                       std::to_string(lineNo) + " has " +
+                       std::to_string(col) + " column(s), expected " +
+                       std::to_string(columns));
     }
   }
   if (spec.ports.empty()) {
     throw ModelError("test-case CSV '" + path + "' contains no data");
   }
+  spec.validate();
   return spec;
 }
 
+std::string TestCaseSpec::toCsvString() const {
+  if (ports.empty()) {
+    throw ModelError("test-case CSV export needs at least one port");
+  }
+  size_t rows = 0;
+  for (size_t k = 0; k < ports.size(); ++k) {
+    if (ports[k].sequence.empty()) {
+      throw ModelError("test-case CSV export: port " + std::to_string(k + 1) +
+                       " has no explicit sequence (seeded ranges cannot be "
+                       "written as CSV)");
+    }
+    if (k == 0) rows = ports[k].sequence.size();
+    if (ports[k].sequence.size() != rows) {
+      throw ModelError("test-case CSV export: port " + std::to_string(k + 1) +
+                       " has " + std::to_string(ports[k].sequence.size()) +
+                       " value(s), expected " + std::to_string(rows));
+    }
+  }
+  std::ostringstream os;
+  os << "# accmos test case: " << ports.size() << " port(s) x " << rows
+     << " step(s)\n";
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t k = 0; k < ports.size(); ++k) {
+      if (k > 0) os << ",";
+      os << fmtExact(ports[k].sequence[r]);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+void TestCaseSpec::toCsv(const std::string& path) const {
+  std::string body = toCsvString();
+  std::ofstream out(path);
+  if (!out) throw ModelError("cannot write test-case CSV '" + path + "'");
+  out << body;
+}
+
+std::string TestCaseSpec::shapeKey() const {
+  std::ostringstream os;
+  auto port = [&os](const PortStimulus& p) {
+    if (p.sequence.empty()) {
+      os << "r " << fmtExact(p.min) << " " << fmtExact(p.max);
+    } else {
+      os << "s";
+      for (double v : p.sequence) os << " " << fmtExact(v);
+    }
+    os << "\n";
+  };
+  os << "default ";
+  port(defaultPort);
+  for (size_t k = 0; k < ports.size(); ++k) {
+    os << "port " << k << " ";
+    port(ports[k]);
+  }
+  return os.str();
+}
+
 StimulusStream::StimulusStream(const TestCaseSpec& spec, const FlatModel& fm) {
+  spec.validate();
   for (size_t k = 0; k < fm.rootInports.size(); ++k) {
     PortState ps;
     ps.signalId = fm.actor(fm.rootInports[k]).outputs[0];

@@ -24,6 +24,11 @@ struct PortStimulus {
   double min = 0.0;
   double max = 1.0;
   std::vector<double> sequence;
+
+  // Rejects stimulus that would generate garbage values: a reversed or
+  // non-finite range when the range is what will be drawn from, or
+  // non-finite sequence elements. `what` names the port in the ModelError.
+  void validate(const std::string& what) const;
 };
 
 struct TestCaseSpec {
@@ -38,9 +43,29 @@ struct TestCaseSpec {
                : defaultPort;
   }
 
+  // Validates every listed port plus the default — the engines call this
+  // before a spec is first used, so malformed stimulus fails fast as a
+  // ModelError instead of producing silent garbage values.
+  void validate() const;
+
   // Loads explicit sequences from a CSV file (one column per root inport,
-  // '#' comments allowed). Throws ModelError on malformed input.
+  // '#' comments allowed). Throws a line-numbered ModelError on malformed
+  // input (ragged rows, unparsable cells, empty files).
   static TestCaseSpec fromCsv(const std::string& path);
+
+  // Inverse of fromCsv: writes one column per port. Every port must carry
+  // an explicit sequence and all sequences must have the same length (the
+  // shape fromCsv produces); throws ModelError otherwise. Values are
+  // written with enough precision to round-trip doubles exactly.
+  void toCsv(const std::string& path) const;
+  std::string toCsvString() const;
+
+  // Canonical text form of the stimulus *shape* — ports, ranges and
+  // sequences with the seed excluded. The campaign layer caches compiled
+  // AccMoS simulators under this key: the generated code bakes the
+  // stimulus but takes the seed as a runtime argument, so seed-only
+  // variants of a spec share one compiled binary.
+  std::string shapeKey() const;
 };
 
 // The runtime generator all in-process engines use; the generated runtime

@@ -128,6 +128,81 @@ TEST(Campaign, RejectsInvalidConfigurations) {
   EXPECT_THROW(runCampaign(fm, opt, TestCaseSpec{}, {}), ModelError);
 }
 
+// Heterogeneous specs: different seeds, ranges AND explicit sequences in
+// one batch. SSE and AccMoS must agree bit-exactly, and the result must be
+// independent of the worker count.
+TEST(Campaign, HeterogeneousSpecsAgreeAcrossEnginesAndWorkers) {
+  auto model = buildBenchmarkModel("SPV");
+  Simulator sim(*model);
+  TestCaseSpec base = benchStimulus("SPV");
+
+  std::vector<TestCaseSpec> specs;
+  TestCaseSpec a = base;
+  a.seed = 11;
+  specs.push_back(a);
+  TestCaseSpec b = base;
+  b.seed = 22;  // same shape as `a`: shares its compiled simulator
+  specs.push_back(b);
+  TestCaseSpec c = base;
+  c.defaultPort = PortStimulus{-1.0, 2.0, {}};  // different shape
+  specs.push_back(c);
+  TestCaseSpec d = base;
+  d.ports.resize(1);
+  d.ports[0].sequence = {0.25, 0.75, 0.5, 1.0};  // explicit sequence
+  specs.push_back(d);
+
+  SimOptions opt;
+  opt.engine = Engine::SSE;
+  opt.maxSteps = 300;
+  CampaignResult sse = runCampaignSpecs(sim.flatModel(), opt, specs);
+  opt.campaign.workers = 3;
+  CampaignResult sse3 = runCampaignSpecs(sim.flatModel(), opt, specs);
+  opt.engine = Engine::AccMoS;
+  CampaignResult acc = runCampaignSpecs(sim.flatModel(), opt, specs);
+
+  ASSERT_EQ(sse.perSeed.size(), specs.size());
+  for (CovMetric m : kAllCovMetrics) {
+    EXPECT_EQ(sse.mergedBitmaps.bits(m), sse3.mergedBitmaps.bits(m))
+        << covMetricName(m) << " workers 1 vs 3";
+    EXPECT_EQ(sse.mergedBitmaps.bits(m), acc.mergedBitmaps.bits(m))
+        << covMetricName(m) << " sse vs accmos";
+  }
+  for (size_t k = 0; k < specs.size(); ++k) {
+    EXPECT_EQ(sse.perSeed[k].seed, specs[k].seed);
+    for (CovMetric m : kAllCovMetrics) {
+      EXPECT_EQ(sse.perSeed[k].coverage.of(m).covered,
+                acc.perSeed[k].coverage.of(m).covered)
+          << "spec " << k << " " << covMetricName(m);
+    }
+  }
+}
+
+TEST(Campaign, SpecEvaluatorSharesEnginesAcrossShapes) {
+  auto model = buildBenchmarkModel("SPV");
+  Simulator sim(*model);
+  TestCaseSpec base = benchStimulus("SPV");
+  SimOptions opt;
+  opt.engine = Engine::AccMoS;
+  opt.maxSteps = 100;
+
+  std::vector<TestCaseSpec> specs(4, base);
+  for (size_t k = 0; k < specs.size(); ++k) specs[k].seed = 100 + k;
+  TestCaseSpec wide = base;
+  wide.defaultPort = PortStimulus{-3.0, 3.0, {}};
+  specs.push_back(wide);
+
+  SpecEvaluator eval(sim.flatModel(), opt);
+  auto results = eval.evaluate(specs);
+  ASSERT_EQ(results.size(), specs.size());
+  // 5 specs, 2 distinct stimulus shapes -> 2 engines.
+  EXPECT_EQ(eval.enginesBuilt(), 2u);
+  auto again = eval.evaluate(specs);
+  EXPECT_EQ(eval.enginesBuilt(), 2u);  // fully reused on the second batch
+  for (size_t k = 0; k < specs.size(); ++k) {
+    EXPECT_EQ(results[k].stepsExecuted, again[k].stepsExecuted);
+  }
+}
+
 TEST(Campaign, SeedOverrideMatchesBakedSeed) {
   // AccMoSEngine with a runtime seed override must equal a fresh engine
   // built with that seed baked in.

@@ -155,6 +155,53 @@ TEST(Coverage, ReportPercentMath) {
   EXPECT_DOUBLE_EQ(empty.percent(), 100.0);  // no points -> fully covered
 }
 
+TEST(Coverage, MetricNamesRoundTrip) {
+  for (CovMetric m : kAllCovMetrics) {
+    auto back = covMetricFromName(covMetricName(m));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, m);
+  }
+  EXPECT_FALSE(covMetricFromName("branch").has_value());
+}
+
+TEST(Coverage, ListUncoveredEnumeratesEveryPointWhenEmpty) {
+  FlatModel fm = logicModel("AND", 2);
+  CoveragePlan plan = planFor(fm);
+  auto all = listUncovered(fm, plan, CoverageRecorder{});
+  // One entry per SLOT (MC/DC and condition count both directions), so the
+  // listing matches slot totals, not report points.
+  size_t expected = 0;
+  for (CovMetric m : kAllCovMetrics) {
+    expected += static_cast<size_t>(plan.totalSlots(m));
+  }
+  EXPECT_EQ(all.size(), expected);
+  for (const auto& u : all) {
+    EXPECT_GE(u.actorId, 0);
+    EXPECT_FALSE(u.actorPath.empty());
+    EXPECT_FALSE(u.outcome.empty());
+    EXPECT_GE(u.slot, 0);
+    EXPECT_LT(u.slot, plan.totalSlots(u.metric));
+  }
+}
+
+TEST(Coverage, ListUncoveredShrinksAsPointsAreHit) {
+  FlatModel fm = logicModel("AND", 2);
+  CoveragePlan plan = planFor(fm);
+  auto before = listUncovered(fm, plan, CoverageRecorder{}).size();
+  auto bits = runLogic("AND", 2, {{1, 0}, {1, 1}}, fm, plan);
+  auto after = listUncovered(fm, plan, bits);
+  EXPECT_LT(after.size(), before);
+  // Every listed point is genuinely unset in the bitmaps.
+  for (const auto& u : after) {
+    EXPECT_EQ(bits.bits(u.metric)[static_cast<size_t>(u.slot)], 0)
+        << u.actorPath << ": " << u.outcome;
+  }
+  // Full coverage empties the listing.
+  auto rest = runLogic("AND", 2, {{0, 1}, {1, 0}}, fm, plan);
+  bits.merge(rest);
+  EXPECT_TRUE(listUncovered(fm, plan, bits).empty());
+}
+
 TEST(Coverage, DecisionOutcomesOfSaturation) {
   Tiny t;
   t.inport("In1", 1);

@@ -2,6 +2,7 @@
 // sequences, CSV loading, and cross-run determinism.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <fstream>
 
 #include "sim/testcase.h"
@@ -130,6 +131,80 @@ TEST(Csv, RejectsMissingAndRaggedFiles) {
     f << "# nothing\n";
   }
   EXPECT_THROW(TestCaseSpec::fromCsv(empty), ModelError);
+}
+
+TEST(Validation, RejectsMalformedStimulus) {
+  TestCaseSpec spec;
+  spec.ports = {PortStimulus{2.0, 1.0, {}}};  // min > max
+  EXPECT_THROW(spec.validate(), ModelError);
+  spec.ports = {PortStimulus{0.0, std::nan(""), {}}};
+  EXPECT_THROW(spec.validate(), ModelError);
+  spec.ports = {PortStimulus{-INFINITY, 1.0, {}}};
+  EXPECT_THROW(spec.validate(), ModelError);
+  spec.ports = {PortStimulus{0.0, 0.0, {1.0, INFINITY}}};
+  EXPECT_THROW(spec.validate(), ModelError);
+  spec.ports = {PortStimulus{0.0, 1.0, {}}};
+  spec.defaultPort = PortStimulus{5.0, -5.0, {}};
+  EXPECT_THROW(spec.validate(), ModelError);
+  spec.defaultPort = PortStimulus{};
+  spec.validate();  // back to well-formed
+
+  // The stream constructor (every engine's entry point) enforces the same.
+  std::unique_ptr<Tiny> keep;
+  FlatModel fm = twoPortModel(keep);
+  TestCaseSpec bad;
+  bad.ports = {PortStimulus{2.0, 1.0, {}}};
+  EXPECT_THROW(StimulusStream(bad, fm), ModelError);
+}
+
+TEST(Csv, ExportRoundTripsExactly) {
+  TestCaseSpec spec;
+  spec.ports.resize(2);
+  spec.ports[0].sequence = {1.0 / 3.0, -2.5, 0.30000000000000004};
+  spec.ports[1].sequence = {1e-17, 42.0, -0.0};
+  std::string path = testing::TempDir() + "accmos_roundtrip.csv";
+  spec.toCsv(path);
+  TestCaseSpec back = TestCaseSpec::fromCsv(path);
+  ASSERT_EQ(back.ports.size(), 2u);
+  for (size_t p = 0; p < 2; ++p) {
+    ASSERT_EQ(back.ports[p].sequence.size(), spec.ports[p].sequence.size());
+    for (size_t k = 0; k < spec.ports[p].sequence.size(); ++k) {
+      // Bit-exact, not approximately equal.
+      EXPECT_EQ(back.ports[p].sequence[k], spec.ports[p].sequence[k])
+          << "port " << p << " step " << k;
+    }
+  }
+}
+
+TEST(Csv, ExportRejectsNonSequenceSpecs) {
+  std::string path = testing::TempDir() + "accmos_reject.csv";
+  TestCaseSpec noPorts;
+  EXPECT_THROW(noPorts.toCsv(path), ModelError);
+  TestCaseSpec seeded;
+  seeded.ports = {PortStimulus{0.0, 1.0, {}}};  // range, not a sequence
+  EXPECT_THROW(seeded.toCsv(path), ModelError);
+  TestCaseSpec ragged;
+  ragged.ports.resize(2);
+  ragged.ports[0].sequence = {1.0, 2.0};
+  ragged.ports[1].sequence = {1.0};
+  EXPECT_THROW(ragged.toCsv(path), ModelError);
+}
+
+TEST(Csv, RaggedErrorNamesTheLine) {
+  std::string path = testing::TempDir() + "accmos_ragged_line.csv";
+  {
+    std::ofstream f(path);
+    f << "# header\n";
+    f << "1,2\n";
+    f << "3\n";
+  }
+  try {
+    TestCaseSpec::fromCsv(path);
+    FAIL() << "expected ModelError";
+  } catch (const ModelError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(Csv, DrivesSimulationIdenticallyOnAllEngines) {

@@ -2,6 +2,8 @@
 //
 //   accmos info <model.xml>                     model inventory
 //   accmos gen <model.xml> [-o out.cpp]         emit simulation code
+//   accmos gen <model.xml> --budget=N [...]     coverage-guided test-case
+//                                               generation (src/gen)
 //   accmos run <model.xml> [options]            simulate and report
 //   accmos campaign <model.xml> [--seeds=N] [--steps=M] [--engine=E]
 //                   [--workers=W]             multi-seed coverage campaign
@@ -17,9 +19,19 @@
 //   --collect=ACTORPATH                monitor an actor (repeatable)
 //   --no-coverage --no-diagnosis       disable instrumentation
 //   --stop-on-diagnostic               halt at the first error
+//   --show-uncovered                   list every unreached coverage point
 //   --opt=-O2                          compiler flag for generated code
 //   --no-opt                           skip the model optimization pipeline
 //                                      (also: env ACCMOS_NO_OPT=1)
+//
+// gen --budget options (testgen mode; presence of --budget selects it):
+//   --budget=N           candidate evaluations (the search budget)
+//   --batch=B            candidates per feedback iteration (default 8)
+//   --gen-seed=S         generator seed: reproduces the search bit-exactly
+//   --target-metric=M    actor|condition|decision|mcdc (default: all)
+//   --corpus-dir=DIR     export corpus (.spec/.csv + MANIFEST.tsv)
+//   --engine=sse|accmos  evaluation engine (default accmos)
+//   --steps=N --workers=W --no-opt --show-uncovered   as above
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -27,11 +39,14 @@
 #include <string>
 #include <vector>
 
+#include "actors/spec.h"
 #include "bench_models/sample_overflow.h"
 #include "bench_models/suite.h"
 #include "codegen/accmos_engine.h"
-#include "sim/campaign.h"
+#include "gen/generator.h"
+#include "opt/pipeline.h"
 #include "parser/model_io.h"
+#include "sim/campaign.h"
 #include "sim/simulator.h"
 
 namespace accmos::cli {
@@ -42,13 +57,21 @@ int usage() {
                "usage: accmos <info|gen|run|export-suite> <args>\n"
                "  accmos info <model.xml>\n"
                "  accmos gen <model.xml> [-o out.cpp]\n"
+               "  accmos gen <model.xml> --budget=N [--batch=B] "
+               "[--gen-seed=S]\n"
+               "             [--target-metric=actor|condition|decision|mcdc]\n"
+               "             [--corpus-dir=DIR] [--engine=sse|accmos] "
+               "[--steps=N]\n"
+               "             [--workers=W] [--no-opt] [--show-uncovered]\n"
                "  accmos run <model.xml> [--engine=E] [--steps=N] "
                "[--budget=S]\n"
                "             [--tests=F.csv] [--seed=N] [--collect=PATH]...\n"
                "             [--no-coverage] [--no-diagnosis] "
-               "[--stop-on-diagnostic] [--opt=-O3] [--no-opt]\n"
+               "[--stop-on-diagnostic] [--opt=-O3] [--no-opt] "
+               "[--show-uncovered]\n"
                "  accmos campaign <model.xml> [--seeds=N] [--steps=M] "
-               "[--engine=accmos|sse] [--workers=W] [--no-opt]\n"
+               "[--engine=accmos|sse] [--workers=W] [--no-opt] "
+               "[--show-uncovered]\n"
                "  accmos export-suite <directory>\n");
   return 2;
 }
@@ -58,6 +81,29 @@ bool flagValue(const std::string& arg, const char* name, std::string* out) {
   if (arg.rfind(prefix, 0) != 0) return false;
   *out = arg.substr(prefix.size());
   return true;
+}
+
+// Resolves accumulated bitmaps back to the coverage points never reached.
+// Rebuilds the plan the engine recorded against: the optimization pipeline
+// (when on) must run here exactly as it did before the engine, since slot
+// layout follows the optimized actor set.
+void printUncovered(const FlatModel& fm, const SimOptions& opt,
+                    const CoverageRecorder& bitmaps) {
+  FlatModel optimized;
+  const FlatModel* model = &fm;
+  if (opt.optimize) {
+    optimized = optimizeModel(fm, opt);
+    model = &optimized;
+  }
+  CoveragePlan plan = CoveragePlan::build(
+      *model, [](const FlatActor& fa) { return covTraitsFor(fa); });
+  auto uncovered = listUncovered(*model, plan, bitmaps);
+  std::printf("uncovered: %zu point(s)\n", uncovered.size());
+  for (const auto& u : uncovered) {
+    std::printf("  [%s] %s: %s\n",
+                std::string(covMetricName(u.metric)).c_str(),
+                u.actorPath.c_str(), u.outcome.c_str());
+  }
 }
 
 int cmdInfo(const std::string& path) {
@@ -113,11 +159,107 @@ int cmdGen(const std::string& path, const std::string& outPath) {
   return 0;
 }
 
+// accmos gen --budget=N: the coverage-guided test-case generation loop
+// (src/gen) instead of source emission.
+int cmdTestGen(const std::string& path,
+               const std::vector<std::string>& args) {
+  SimOptions opt;
+  opt.engine = Engine::AccMoS;
+  opt.maxSteps = 10000;
+  gen::GenOptions gopt;
+  bool showUncovered = false;
+  std::string v;
+  for (const auto& arg : args) {
+    if (flagValue(arg, "--budget", &v)) {
+      gopt.budget = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flagValue(arg, "--batch", &v)) {
+      gopt.batch = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flagValue(arg, "--gen-seed", &v)) {
+      gopt.genSeed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flagValue(arg, "--target-metric", &v)) {
+      auto m = covMetricFromName(v);
+      if (!m) {
+        std::fprintf(stderr,
+                     "unknown metric '%s' (actor|condition|decision|mcdc)\n",
+                     v.c_str());
+        return 2;
+      }
+      gopt.targetMetric = *m;
+    } else if (flagValue(arg, "--corpus-dir", &v)) {
+      gopt.corpusDir = v;
+    } else if (flagValue(arg, "--engine", &v)) {
+      if (v == "accmos") opt.engine = Engine::AccMoS;
+      else if (v == "sse") opt.engine = Engine::SSE;
+      else {
+        std::fprintf(stderr, "generation engine must be accmos or sse\n");
+        return 2;
+      }
+    } else if (flagValue(arg, "--steps", &v)) {
+      opt.maxSteps = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flagValue(arg, "--workers", &v)) {
+      opt.campaign.workers = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (arg == "--no-opt") {
+      opt.optimize = false;
+    } else if (arg == "--show-uncovered") {
+      showUncovered = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  LoadedModel loaded = loadModelFromFile(path);
+  if (loaded.stimulus) gopt.base = *loaded.stimulus;
+  Simulator sim(*loaded.model);
+  gen::GenResult gr = gen::runGeneration(sim.flatModel(), opt, gopt);
+
+  std::string target = gopt.targetMetric
+                           ? std::string(covMetricName(*gopt.targetMetric))
+                           : std::string("all metrics");
+  std::printf("testgen  : budget %zu on %s, gen-seed %llu, target %s\n",
+              gopt.budget, std::string(engineName(opt.engine)).c_str(),
+              static_cast<unsigned long long>(gopt.genSeed), target.c_str());
+  std::printf("optimize : %s\n", gr.optStats.summary().c_str());
+  std::printf("%-5s %6s %6s %6s %8s %8s %8s %8s   (cumulative)\n", "iter",
+              "eval", "kept", "corpus", "actor", "cond", "dec", "mcdc");
+  for (const auto& it : gr.trajectory) {
+    std::printf("%-5zu %6zu %6zu %6zu %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+                it.iteration, it.evaluated, it.accepted, it.corpusSize,
+                it.cumulative.of(CovMetric::Actor).percent(),
+                it.cumulative.of(CovMetric::Condition).percent(),
+                it.cumulative.of(CovMetric::Decision).percent(),
+                it.cumulative.of(CovMetric::MCDC).percent());
+  }
+  std::printf("coverage : %s%s\n", gr.finalCoverage.toString().c_str(),
+              gr.saturated ? " (saturated before budget)" : "");
+  std::printf("corpus   : %zu case(s) kept of %zu evaluated, %zu distinct "
+              "diagnostic kind(s)\n",
+              gr.corpus.size(), gr.evaluations, gr.diagKinds);
+  if (gr.enginesBuilt > 0) {
+    std::printf("codegen  : %zu distinct stimulus shape(s) compiled\n",
+                gr.enginesBuilt);
+  }
+  if (!gopt.corpusDir.empty()) {
+    std::printf("exported : %s (MANIFEST.tsv + entry_*.spec/.csv)\n",
+                gopt.corpusDir.c_str());
+  }
+  if (showUncovered) {
+    std::printf("uncovered: %zu point(s)\n", gr.uncovered.size());
+    for (const auto& u : gr.uncovered) {
+      std::printf("  [%s] %s: %s\n",
+                  std::string(covMetricName(u.metric)).c_str(),
+                  u.actorPath.c_str(), u.outcome.c_str());
+    }
+  }
+  return 0;
+}
+
 int cmdRun(const std::string& path, const std::vector<std::string>& args) {
   SimOptions opt;
   opt.engine = Engine::AccMoS;
   opt.maxSteps = 100000;
   TestCaseSpec tests;
+  bool showUncovered = false;
   std::string v;
   for (const auto& arg : args) {
     if (flagValue(arg, "--engine", &v)) {
@@ -149,6 +291,8 @@ int cmdRun(const std::string& path, const std::vector<std::string>& args) {
       opt.optimize = false;
     } else if (arg == "--stop-on-diagnostic") {
       opt.stopOnDiagnostic = true;
+    } else if (arg == "--show-uncovered") {
+      showUncovered = true;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return 2;
@@ -167,7 +311,8 @@ int cmdRun(const std::string& path, const std::vector<std::string>& args) {
                     arg.rfind("--seed=", 0) == 0;
   }
   if (loaded.stimulus && !explicitTests) tests = *loaded.stimulus;
-  auto res = simulate(*loaded.model, opt, tests);
+  Simulator sim(*loaded.model);
+  auto res = sim.run(opt, tests);
 
   std::printf("engine   : %s\n",
               std::string(engineName(opt.engine)).c_str());
@@ -207,6 +352,15 @@ int cmdRun(const std::string& path, const std::vector<std::string>& args) {
                 static_cast<unsigned long long>(d.count),
                 d.message.c_str());
   }
+  if (showUncovered) {
+    if (!res.hasCoverage) {
+      std::fprintf(stderr,
+                   "--show-uncovered needs coverage (an instrumented "
+                   "engine, without --no-coverage)\n");
+      return 2;
+    }
+    printUncovered(sim.flatModel(), opt, res.bitmaps);
+  }
   return res.diagnostics.empty() ? 0 : 3;
 }
 
@@ -216,6 +370,7 @@ int cmdCampaign(const std::string& path,
   opt.engine = Engine::AccMoS;
   opt.maxSteps = 100000;
   int numSeeds = 8;
+  bool showUncovered = false;
   std::string v;
   for (const auto& arg : args) {
     if (flagValue(arg, "--seeds", &v)) {
@@ -233,6 +388,8 @@ int cmdCampaign(const std::string& path,
       }
     } else if (arg == "--no-opt") {
       opt.optimize = false;
+    } else if (arg == "--show-uncovered") {
+      showUncovered = true;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return 2;
@@ -275,6 +432,7 @@ int cmdCampaign(const std::string& path,
                 static_cast<unsigned long long>(d.firstStep),
                 static_cast<unsigned long long>(d.count));
   }
+  if (showUncovered) printUncovered(sim.flatModel(), opt, cr.mergedBitmaps);
   return 0;
 }
 
@@ -305,6 +463,12 @@ int mainImpl(int argc, char** argv) {
   try {
     if (cmd == "info" && argc == 3) return cmdInfo(argv[2]);
     if (cmd == "gen" && argc >= 3) {
+      // --budget selects the coverage-guided test-case generation mode;
+      // without it, gen keeps its original meaning (emit simulation code).
+      std::vector<std::string> args(argv + 3, argv + argc);
+      for (const auto& arg : args) {
+        if (arg.rfind("--budget=", 0) == 0) return cmdTestGen(argv[2], args);
+      }
       std::string out;
       for (int k = 3; k < argc; ++k) {
         if (std::strcmp(argv[k], "-o") == 0 && k + 1 < argc) out = argv[k + 1];
