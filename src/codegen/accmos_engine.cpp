@@ -1,10 +1,14 @@
 #include "codegen/accmos_engine.h"
 
 #include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <vector>
 
 #include "actors/spec.h"
 #include "codegen/compiler_driver.h"
 #include "codegen/emitter.h"
+#include "codegen/model_lib.h"
 #include "codegen/results_parser.h"
 
 namespace accmos {
@@ -49,14 +53,153 @@ AccMoSEngine::AccMoSEngine(const FlatModel& fm, const SimOptions& opt,
   driver_ = std::make_unique<CompilerDriver>(opt_.workDir);
   driver_->setKeep(opt_.keepGeneratedCode || !opt_.workDir.empty());
   driver_->setCacheEnabled(opt_.compileCache);
+
+  if (opt_.execMode == ExecMode::Dlopen) {
+    // Compile as a shared library and load it in-process. Any failure —
+    // compiler without -shared/-fPIC support, a dlopen error, a library
+    // with the wrong ABI — degrades to the subprocess backend rather than
+    // failing the engine.
+    try {
+      auto compiled = driver_->compile(source_, "model_" + fm_.modelName,
+                                       opt_.optFlag, ArtifactKind::SharedLib);
+      compileSeconds_ = compiled.seconds;
+      compileCacheHit_ = compiled.cacheHit;
+      // dlopen a private per-engine copy, never the shared cache entry
+      // directly: the dynamic linker dedups loads by pathname and inode,
+      // so dlopening a cache path that an earlier engine already mapped
+      // would hand back the old library even after the entry was healed
+      // or replaced. The copy lives in this engine's unique work dir and
+      // is cleaned up with it.
+      namespace fs = std::filesystem;
+      fs::path libCopy =
+          fs::path(driver_->dir()) / ("model_" + fm_.modelName + ".load.so");
+      fs::copy_file(compiled.exePath, libCopy,
+                    fs::copy_options::overwrite_existing);
+      lib_ = std::make_unique<ModelLib>(libCopy.string());
+      loadSeconds_ = lib_->loadSeconds();
+      exePath_ = compiled.exePath;
+      execModeUsed_ = ExecMode::Dlopen;
+
+      // Cross-check the library's reported geometry against our plans — a
+      // mismatch means we'd size buffers wrong, so fail closed (and fall
+      // back) instead of trusting it.
+      const AccmosModelInfo& info = lib_->info();
+      uint64_t expectedCov[4] = {0, 0, 0, 0};
+      if (opt_.coverage) {
+        for (int m = 0; m < 4; ++m) {
+          expectedCov[m] = static_cast<uint64_t>(
+              covPlan_.totalSlots(kAllCovMetrics[m]));
+        }
+      }
+      size_t collectValsLen = 0;
+      for (int sid : collectSignals_) {
+        collectValsLen += static_cast<size_t>(fm_.signal(sid).width);
+      }
+      size_t outValsLen = 0;
+      for (int oid : fm_.rootOutports) {
+        outValsLen +=
+            static_cast<size_t>(fm_.signal(fm_.actor(oid).inputs[0]).width);
+      }
+      bool covOk = true;
+      for (int m = 0; m < 4; ++m) covOk &= info.covLen[m] == expectedCov[m];
+      if (!covOk || info.numActors != fm_.actors.size() ||
+          info.numDiagKinds != static_cast<uint64_t>(kNumDiagKinds) ||
+          info.numCustom != opt_.customDiagnostics.size() ||
+          info.numCollect != collectSignals_.size() ||
+          info.collectValsLen != collectValsLen ||
+          info.outValsLen != outValsLen) {
+        throw CompileError("generated model library " + exePath_ +
+                           " reports a geometry that does not match the "
+                           "host's instrumentation plans");
+      }
+      return;
+    } catch (const CompileError&) {
+      lib_.reset();
+      loadSeconds_ = 0.0;
+    } catch (const std::filesystem::filesystem_error&) {
+      lib_.reset();
+      loadSeconds_ = 0.0;
+    }
+  }
+
   auto compiled = driver_->compile(source_, "model_" + fm_.modelName,
-                                   opt_.optFlag);
-  compileSeconds_ = compiled.seconds;
+                                   opt_.optFlag, ArtifactKind::Executable);
+  compileSeconds_ += compiled.seconds;
   compileCacheHit_ = compiled.cacheHit;
   exePath_ = compiled.exePath;
+  execModeUsed_ = ExecMode::Process;
 }
 
 AccMoSEngine::~AccMoSEngine() = default;
+
+SimulationResult AccMoSEngine::runInProcess(uint64_t steps, double budget,
+                                            uint64_t seed) {
+  const AccmosModelInfo& info = lib_->info();
+
+  // Caller-owned buffers, sized once from the library's geometry. All
+  // locals — concurrent run() calls never share state.
+  std::vector<uint8_t> cov[4];
+  std::vector<AccmosDiagRec> diags(
+      static_cast<size_t>(info.numActors * info.numDiagKinds));
+  std::vector<AccmosCustomRec> customs(static_cast<size_t>(info.numCustom));
+  std::vector<uint64_t> collectCounts(static_cast<size_t>(info.numCollect));
+  std::vector<uint64_t> collectVals(static_cast<size_t>(info.collectValsLen));
+  std::vector<uint64_t> outVals(static_cast<size_t>(info.outValsLen));
+
+  AccmosRunArgs args;
+  std::memset(&args, 0, sizeof(args));
+  args.structSize = static_cast<uint32_t>(sizeof(AccmosRunArgs));
+  args.abiVersion = ACCMOS_ABI_VERSION;
+  args.maxSteps = steps;
+  args.timeBudgetSec = budget;
+  args.seed = seed;
+
+  AccmosRunResult res;
+  std::memset(&res, 0, sizeof(res));
+  res.structSize = static_cast<uint32_t>(sizeof(AccmosRunResult));
+  res.abiVersion = ACCMOS_ABI_VERSION;
+  for (int m = 0; m < 4; ++m) {
+    cov[m].resize(static_cast<size_t>(info.covLen[m]));
+    res.cov[m] = cov[m].empty() ? nullptr : cov[m].data();
+    res.covLen[m] = info.covLen[m];
+  }
+  res.diags = diags.empty() ? nullptr : diags.data();
+  res.diagCap = diags.size();
+  res.customs = customs.empty() ? nullptr : customs.data();
+  res.customCap = customs.size();
+  res.collectCounts = collectCounts.empty() ? nullptr : collectCounts.data();
+  res.numCollect = collectCounts.size();
+  res.collectVals = collectVals.empty() ? nullptr : collectVals.data();
+  res.collectValsLen = collectVals.size();
+  res.outVals = outVals.empty() ? nullptr : outVals.data();
+  res.outValsLen = outVals.size();
+
+  int rc = lib_->run(args, res);
+  if (rc != ACCMOS_ABI_OK) {
+    throw CompileError("in-process model run failed with ABI status " +
+                       std::to_string(rc) + " (library " + lib_->path() +
+                       ")");
+  }
+  SimulationResult result = decodeBinaryResults(
+      res, fm_, opt_.coverage ? &covPlan_ : nullptr,
+      opt_.diagnosis ? &diagPlan_ : nullptr, collectSignals_,
+      opt_.customDiagnostics);
+  result.execMode = std::string(execModeName(ExecMode::Dlopen));
+  return result;
+}
+
+SimulationResult AccMoSEngine::runSubprocess(uint64_t steps, double budget,
+                                             uint64_t seed) {
+  std::string output = driver_->run(
+      exePath_,
+      {std::to_string(steps), std::to_string(budget), std::to_string(seed)});
+  SimulationResult result = parseResults(
+      output, fm_, opt_.coverage ? &covPlan_ : nullptr,
+      opt_.diagnosis ? &diagPlan_ : nullptr, collectSignals_,
+      opt_.customDiagnostics);
+  result.execMode = std::string(execModeName(ExecMode::Process));
+  return result;
+}
 
 SimulationResult AccMoSEngine::run(uint64_t maxStepsOverride,
                                    double timeBudgetOverride,
@@ -65,19 +208,16 @@ SimulationResult AccMoSEngine::run(uint64_t maxStepsOverride,
   double budget =
       timeBudgetOverride >= 0.0 ? timeBudgetOverride : opt_.timeBudgetSec;
   uint64_t seed = seedOverride.value_or(tests_.seed);
-  std::string output = driver_->run(
-      exePath_,
-      {std::to_string(steps), std::to_string(budget), std::to_string(seed)});
-  SimulationResult result = parseResults(
-      output, fm_, opt_.coverage ? &covPlan_ : nullptr,
-      opt_.diagnosis ? &diagPlan_ : nullptr, collectSignals_,
-      opt_.customDiagnostics);
+  SimulationResult result = lib_ != nullptr
+                                ? runInProcess(steps, budget, seed)
+                                : runSubprocess(steps, budget, seed);
   if (opt_.coverage) {
     result.coverage = makeReport(covPlan_, result.bitmaps);
     result.hasCoverage = true;
   }
   result.generateSeconds = generateSeconds_;
   result.compileSeconds = compileSeconds_;
+  result.loadSeconds = loadSeconds_;
   return result;
 }
 

@@ -1,6 +1,16 @@
 // The AccMoS engine: the full pipeline of the paper — simulation-oriented
 // instrumentation, simulation code synthesis, compilation, execution, and
 // result recovery.
+//
+// Execution has two backends (SimOptions::execMode, docs/EXECUTION.md):
+//   Dlopen  — the generated code is compiled -shared -fPIC, loaded once
+//             with dlopen, and every run() is an in-process accmos_run()
+//             call filling caller-owned binary buffers. Zero subprocess,
+//             zero text parsing on the hot path. Falls back to Process
+//             automatically if the library cannot be built or loaded.
+//   Process — the generated code is compiled to an executable and each
+//             run() forks it, parsing the text result protocol.
+// Both backends produce bit-identical SimulationResults.
 #pragma once
 
 #include <memory>
@@ -31,6 +41,8 @@ class AccMoSEngine {
   // options used at construction; pass nonzero values to override. The
   // stimulus seed can be overridden per run — the generated program takes
   // it as an argument, so one compiled simulator serves a whole campaign.
+  // Thread-safe in both exec modes: concurrent campaign/gen workers share
+  // one engine (and, in dlopen mode, one loaded library).
   SimulationResult run(uint64_t maxStepsOverride = 0,
                        double timeBudgetOverride = -1.0,
                        std::optional<uint64_t> seedOverride = std::nullopt);
@@ -38,15 +50,24 @@ class AccMoSEngine {
   const std::string& generatedSource() const { return source_; }
   double generateSeconds() const { return generateSeconds_; }
   double compileSeconds() const { return compileSeconds_; }
+  // Wall time spent loading the shared library (0 in process mode).
+  double loadSeconds() const { return loadSeconds_; }
   // True when the compiled simulator came from the content-addressed cache
   // (compileSeconds is then the cache-verification time, near zero).
   bool compileCacheHit() const { return compileCacheHit_; }
   const std::string& exePath() const { return exePath_; }
+  // Backend actually in use — Process either by request or because the
+  // dlopen backend fell back.
+  ExecMode execModeUsed() const { return execModeUsed_; }
   const CoveragePlan* coveragePlan() const {
     return opt_.coverage ? &covPlan_ : nullptr;
   }
 
  private:
+  SimulationResult runInProcess(uint64_t steps, double budget, uint64_t seed);
+  SimulationResult runSubprocess(uint64_t steps, double budget,
+                                 uint64_t seed);
+
   const FlatModel& fm_;
   SimOptions opt_;
   TestCaseSpec tests_;
@@ -57,8 +78,11 @@ class AccMoSEngine {
   std::string exePath_;
   double generateSeconds_ = 0.0;
   double compileSeconds_ = 0.0;
+  double loadSeconds_ = 0.0;
   bool compileCacheHit_ = false;
+  ExecMode execModeUsed_ = ExecMode::Process;
   std::unique_ptr<class CompilerDriver> driver_;
+  std::unique_ptr<class ModelLib> lib_;  // set in dlopen mode only
 };
 
 // One-shot convenience.

@@ -75,6 +75,9 @@ std::string hex16(uint64_t v) {
   return buf;
 }
 
+// Extra flags for ArtifactKind::SharedLib; part of the cache identity.
+constexpr const char* kSharedLibFlags = "-shared -fPIC";
+
 bool cacheDisabledByEnv() {
   const char* v = std::getenv("ACCMOS_CACHE_DISABLE");
   return v != nullptr && v[0] != '\0' && std::string(v) != "0";
@@ -174,20 +177,26 @@ std::string CompilerDriver::cacheDir() {
 }
 
 uint64_t CompilerDriver::cacheKey(const std::string& source,
-                                  const std::string& optFlag) {
+                                  const std::string& optFlag,
+                                  ArtifactKind kind) {
   uint64_t h = fnv1a64(compilerPath());
   h = fnv1a64(std::string(" -std=c++17 "), h);
   h = fnv1a64(optFlag, h);
+  if (kind == ArtifactKind::SharedLib) {
+    h = fnv1a64(std::string(kSharedLibFlags), h);
+  }
   h = fnv1a64(std::string("\x1f"), h);  // separator: flags vs source
   return fnv1a64(source, h);
 }
 
 CompileOutput CompilerDriver::compile(const std::string& source,
                                       const std::string& name,
-                                      const std::string& optFlag) {
+                                      const std::string& optFlag,
+                                      ArtifactKind kind) {
+  const bool shared = kind == ArtifactKind::SharedLib;
   CompileOutput out;
   fs::path src = fs::path(dir_) / (name + ".cpp");
-  fs::path exe = fs::path(dir_) / name;
+  fs::path exe = fs::path(dir_) / (shared ? name + ".so" : name);
   fs::path log = fs::path(dir_) / (name + ".log");
   {
     std::ofstream f(src);
@@ -199,7 +208,7 @@ CompileOutput CompilerDriver::compile(const std::string& source,
   bool useCache = cacheEnabled_ && !cacheDisabledByEnv();
   uint64_t key = 0;
   if (useCache) {
-    key = cacheKey(source, optFlag);
+    key = cacheKey(source, optFlag, kind);
     auto t0 = std::chrono::steady_clock::now();
     CacheEntry e = cachePaths(key);
     if (verifyEntry(e)) {
@@ -222,9 +231,10 @@ CompileOutput CompilerDriver::compile(const std::string& source,
   }
 
   std::ostringstream cmd;
-  cmd << compilerPath() << " -std=c++17 " << optFlag << " -o "
-      << shellQuote(exe.string()) << " " << shellQuote(src.string()) << " > "
-      << shellQuote(log.string()) << " 2>&1";
+  cmd << compilerPath() << " -std=c++17 " << optFlag;
+  if (shared) cmd << " " << kSharedLibFlags;
+  cmd << " -o " << shellQuote(exe.string()) << " " << shellQuote(src.string())
+      << " > " << shellQuote(log.string()) << " 2>&1";
   auto t0 = std::chrono::steady_clock::now();
   int rc = std::system(cmd.str().c_str());
   auto t1 = std::chrono::steady_clock::now();

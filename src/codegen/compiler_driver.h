@@ -27,8 +27,14 @@ class CompileError : public ModelError {
   explicit CompileError(const std::string& what) : ModelError(what) {}
 };
 
+// What the driver produces from the generated source. An Executable is run
+// as a subprocess via run(); a SharedLib is built -shared -fPIC for the
+// in-process dlopen backend. The two enter the compile cache under distinct
+// keys — identical source compiled both ways must never collide.
+enum class ArtifactKind : uint8_t { Executable, SharedLib };
+
 struct CompileOutput {
-  std::string exePath;
+  std::string exePath;  // executable or shared library, per ArtifactKind
   std::string sourcePath;
   double seconds = 0.0;
   bool cacheHit = false;  // binary came from the content-addressed cache
@@ -48,7 +54,8 @@ class CompilerDriver {
   // cache holds a verified binary for the same (compiler, flags, source),
   // returns that binary with cacheHit set and near-zero seconds.
   CompileOutput compile(const std::string& source, const std::string& name,
-                        const std::string& optFlag);
+                        const std::string& optFlag,
+                        ArtifactKind kind = ArtifactKind::Executable);
 
   // Runs the binary with the given argv, returning captured stdout.
   // Throws CompileError on launch failure, read error, or non-zero exit
@@ -68,9 +75,12 @@ class CompilerDriver {
   static std::string compilerPath();
   // Resolved cache directory: $ACCMOS_CACHE_DIR, else <tmp>/accmos-cache.
   static std::string cacheDir();
-  // Content-address of a compilation: stable across processes.
+  // Content-address of a compilation: stable across processes. The artifact
+  // kind (and its -shared -fPIC flags) is part of the address, so an
+  // executable and a shared library of the same source get distinct keys.
   static uint64_t cacheKey(const std::string& source,
-                           const std::string& optFlag);
+                           const std::string& optFlag,
+                           ArtifactKind kind = ArtifactKind::Executable);
 
  private:
   std::string dir_;

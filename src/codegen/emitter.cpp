@@ -9,9 +9,17 @@
 namespace accmos {
 namespace {
 
-constexpr int kNumDiagKinds = 9;
-
 std::string cpp(DataType t) { return std::string(dataTypeCpp(t)); }
+
+// Packs one element for the binary result ABI: float-typed signals cross
+// the boundary as IEEE-754 double bits, integer-typed ones as
+// two's-complement int64 — pre-widened exactly like the text protocol, so
+// the binary decoder reproduces the text parser bit for bit.
+std::string packExpr(DataType t, const std::string& elem) {
+  if (isFloatType(t)) return "accmos_pack_f((double)" + elem + ")";
+  if (t == DataType::U64) return "(uint64_t)" + elem;
+  return "(uint64_t)(int64_t)" + elem;
+}
 
 // printf conversion for one element of a signal of type t.
 std::string printfFor(DataType t, const std::string& elem) {
@@ -73,7 +81,7 @@ std::string Emitter::makeDiagFunction(
       "diagnose_" + sanitize(current_->path) + "_" +
       std::to_string(current_->id) + "_" + std::to_string(varCounter_++);
   std::ostringstream def;
-  def << "static inline void " << fname << "(uint64_t step";
+  def << "void " << fname << "(uint64_t step";
   for (size_t k = 0; k < flags.size(); ++k) def << ", int f" << k;
   def << ") {\n";
   for (size_t k = 0; k < flags.size(); ++k) {
@@ -129,84 +137,97 @@ std::string Emitter::covMcdcStmt(int condIdx, const std::string& valExpr) {
 
 // ---- sections --------------------------------------------------------------
 
+void Emitter::emitConstTables(std::ostringstream& os) {
+  // Explicit stimulus sequences are immutable, so they stay at file scope,
+  // shared by every model-state instance.
+  bool any = false;
+  for (size_t k = 0; k < fm_.rootInports.size(); ++k) {
+    const PortStimulus& stim = tests_.port(static_cast<int>(k));
+    if (stim.sequence.empty()) continue;
+    os << "static const double tc_seq_" << k << "[" << stim.sequence.size()
+       << "] = {";
+    for (size_t i = 0; i < stim.sequence.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << fmtD(stim.sequence[i]);
+    }
+    os << "};\n";
+    any = true;
+  }
+  if (any) os << "\n";
+}
+
 void Emitter::emitDeclarations(std::ostringstream& os) {
-  os << "// ---- model data ----------------------------------------------\n";
+  os << "  // ---- model data --------------------------------------------\n";
   for (const auto& sig : fm_.signals) {
-    os << "static " << cpp(sig.type) << " s" << (&sig - fm_.signals.data())
+    os << "  " << cpp(sig.type) << " s" << (&sig - fm_.signals.data())
        << "[" << sig.width << "];  // " << sig.name << "\n";
   }
   const Registry& reg = Registry::instance();
   for (const auto& fa : fm_.actors) {
     auto st = reg.get(fa).state(fm_, fa);
     if (st) {
-      os << "static " << cpp(st->type) << " st" << fa.id << "[" << st->width
+      os << "  " << cpp(st->type) << " st" << fa.id << "[" << st->width
          << "];  // state of " << fa.path << "\n";
     }
   }
   for (size_t d = 0; d < fm_.dataStores.size(); ++d) {
     const auto& ds = fm_.dataStores[d];
-    os << "static " << cpp(ds.type) << " "
+    os << "  " << cpp(ds.type) << " "
        << dataStoreSymbol(static_cast<int>(d), ds.name) << "[" << ds.width
        << "];  // data store '" << ds.name << "'\n";
   }
-  // Test-case streams.
+  // Random test-case stream states (sequence-driven ports read the shared
+  // const tables instead).
   for (size_t k = 0; k < fm_.rootInports.size(); ++k) {
-    const PortStimulus& stim = tests_.port(static_cast<int>(k));
-    if (stim.sequence.empty()) {
-      os << "static uint64_t tc_state_" << k << ";\n";
-    } else {
-      os << "static const double tc_seq_" << k << "["
-         << stim.sequence.size() << "] = {";
-      for (size_t i = 0; i < stim.sequence.size(); ++i) {
-        if (i > 0) os << ", ";
-        os << fmtD(stim.sequence[i]);
-      }
-      os << "};\n";
+    if (tests_.port(static_cast<int>(k)).sequence.empty()) {
+      os << "  uint64_t tc_state_" << k << ";\n";
     }
   }
   // Coverage bitmaps.
   if (covPlan_ != nullptr) {
-    os << "static uint8_t accmos_cov_actor["
+    os << "  uint8_t accmos_cov_actor["
        << std::max(1, covPlan_->totalSlots(CovMetric::Actor)) << "];\n";
-    os << "static uint8_t accmos_cov_cond["
+    os << "  uint8_t accmos_cov_cond["
        << std::max(1, covPlan_->totalSlots(CovMetric::Condition)) << "];\n";
-    os << "static uint8_t accmos_cov_dec["
+    os << "  uint8_t accmos_cov_dec["
        << std::max(1, covPlan_->totalSlots(CovMetric::Decision)) << "];\n";
-    os << "static uint8_t accmos_cov_mcdc["
+    os << "  uint8_t accmos_cov_mcdc["
        << std::max(1, covPlan_->totalSlots(CovMetric::MCDC)) << "];\n";
   }
   // Signal monitor buffers (paper Fig. 3 outputCollect repository).
   for (size_t k = 0; k < collectSignals_.size(); ++k) {
     const SignalInfo& sig =
         fm_.signal(collectSignals_[k]);
-    os << "static " << cpp(sig.type) << " col" << k << "[" << sig.width
-       << "]; static uint64_t colcnt" << k << ";\n";
+    os << "  " << cpp(sig.type) << " col" << k << "[" << sig.width
+       << "]; uint64_t colcnt" << k << ";\n";
   }
   // Custom diagnosis slots.
   for (size_t k = 0; k < opt_.customDiagnostics.size(); ++k) {
-    os << "static double cd_prev_" << k << "; static int cd_has_" << k
-       << "; static uint64_t cd_first_" << k << "; static uint64_t cd_count_"
-       << k << ";\n";
+    os << "  double cd_prev_" << k << "; int cd_has_" << k
+       << "; uint64_t cd_first_" << k << "; uint64_t cd_count_" << k
+       << ";\n";
   }
+  os << "  int accmos_stop;\n";
+  os << "  int accmos_diag_fired;\n";
   os << "\n";
 }
 
 void Emitter::emitDiagRuntime(std::ostringstream& os) {
-  os << "static uint64_t accmos_diag_first[" << fm_.actors.size() << " * "
+  os << "  uint64_t accmos_diag_first[" << fm_.actors.size() << " * "
      << kNumDiagKinds << "];\n";
-  os << "static uint64_t accmos_diag_count[" << fm_.actors.size() << " * "
+  os << "  uint64_t accmos_diag_count[" << fm_.actors.size() << " * "
      << kNumDiagKinds << "];\n";
-  os << "static inline void accmos_diag(int actor, int kind, uint64_t step) "
-        "{\n"
-     << "  int idx = actor * " << kNumDiagKinds << " + kind;\n"
-     << "  if (accmos_diag_count[idx] == 0) accmos_diag_first[idx] = step;\n"
-     << "  accmos_diag_count[idx] += 1;\n"
-     << "  accmos_diag_fired = 1;\n"
-     << "}\n\n";
+  os << "  void accmos_diag(int actor, int kind, uint64_t step) {\n"
+     << "    int idx = actor * " << kNumDiagKinds << " + kind;\n"
+     << "    if (accmos_diag_count[idx] == 0) accmos_diag_first[idx] = "
+        "step;\n"
+     << "    accmos_diag_count[idx] += 1;\n"
+     << "    accmos_diag_fired = 1;\n"
+     << "  }\n\n";
 }
 
 void Emitter::emitFillInputs(std::ostringstream& os) {
-  os << "static void accmos_fill_inputs(uint64_t step) {\n";
+  os << "void accmos_fill_inputs(uint64_t step) {\n";
   if (fm_.rootInports.empty()) os << "  (void)step;\n";
   for (size_t k = 0; k < fm_.rootInports.size(); ++k) {
     const FlatActor& fa = fm_.actor(fm_.rootInports[k]);
@@ -242,7 +263,7 @@ std::string Emitter::storeFromDouble(DataType t, const std::string& dst,
 
 void Emitter::emitModelInit(std::ostringstream& os) {
   const Registry& reg = Registry::instance();
-  os << "static void Model_Init(uint64_t accmos_seed) {\n";
+  os << "void Model_Init(uint64_t accmos_seed) {\n";
   os << "  (void)accmos_seed;\n";
   for (const auto& fa : fm_.actors) {
     auto st = reg.get(fa).state(fm_, fa);
@@ -280,7 +301,7 @@ void Emitter::emitModelInit(std::ostringstream& os) {
 }
 
 void Emitter::emitModelExe(std::ostringstream& os) {
-  os << "static void Model_Exe(uint64_t step) {\n";
+  os << "void Model_Exe(uint64_t step) {\n";
   os << "  (void)step;\n";
   os << evalSection_.str();
   os << "  // ---- state update phase ----\n";
@@ -322,6 +343,173 @@ void Emitter::emitModelExe(std::ostringstream& os) {
   os << "}\n\n";
 }
 
+void Emitter::emitSimLoop(std::ostringstream& os) {
+  os << "  // One full simulation on this state instance. Returns the steps\n"
+     << "  // executed; the loop's wall time lands in *execNs.\n"
+     << "  uint64_t accmos_sim_run(uint64_t maxSteps, double budget,\n"
+     << "                          uint64_t seed, int* stoppedEarly,\n"
+     << "                          unsigned long long* execNs) {\n"
+     << "    Model_Init(seed);\n"
+     << "    int stopped = 0;\n"
+     << "    auto t0 = std::chrono::steady_clock::now();\n"
+     << "    uint64_t step = 0;\n"
+     << "    for (; step < maxSteps; ++step) {\n"
+     << "      accmos_fill_inputs(step);\n"
+     << "      Model_Exe(step);\n"
+     << "      if (accmos_stop) { ++step; stopped = 1; break; }\n";
+  if (opt_.stopOnDiagnostic) {
+    os << "      if (accmos_diag_fired) { ++step; stopped = 1; break; }\n";
+  }
+  os << "      if (budget > 0.0 && (step & 1023) == 1023 &&\n"
+     << "          std::chrono::duration<double>(std::chrono::steady_clock"
+        "::now() - t0).count() >= budget) { ++step; break; }\n"
+     << "    }\n"
+     << "    auto t1 = std::chrono::steady_clock::now();\n"
+     << "    *execNs = (unsigned long long)\n"
+     << "        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - "
+        "t0).count();\n"
+     << "    *stoppedEarly = stopped;\n"
+     << "    return step;\n"
+     << "  }\n";
+}
+
+void Emitter::emitAbi(std::ostringstream& os) {
+  const int covLen[4] = {
+      covPlan_ != nullptr ? covPlan_->totalSlots(CovMetric::Actor) : 0,
+      covPlan_ != nullptr ? covPlan_->totalSlots(CovMetric::Condition) : 0,
+      covPlan_ != nullptr ? covPlan_->totalSlots(CovMetric::Decision) : 0,
+      covPlan_ != nullptr ? covPlan_->totalSlots(CovMetric::MCDC) : 0};
+  const char* covArr[4] = {"accmos_cov_actor", "accmos_cov_cond",
+                           "accmos_cov_dec", "accmos_cov_mcdc"};
+  size_t collectValsLen = 0;
+  for (int sid : collectSignals_) {
+    collectValsLen += static_cast<size_t>(fm_.signal(sid).width);
+  }
+  size_t outValsLen = 0;
+  for (int oid : fm_.rootOutports) {
+    outValsLen +=
+        static_cast<size_t>(fm_.signal(fm_.actor(oid).inputs[0]).width);
+  }
+  const size_t numActors = fm_.actors.size();
+  const size_t numCustom = opt_.customDiagnostics.size();
+
+  os << "// ---- in-process execution ABI (see run_abi.h) -----------------\n"
+     << "extern \"C\" int accmos_model_info(AccmosModelInfo* info) {\n"
+     << "  if (!info || info->structSize != "
+        "(uint32_t)sizeof(AccmosModelInfo)) return ACCMOS_ABI_EARG;\n"
+     << "  info->abiVersion = ACCMOS_ABI_VERSION;\n";
+  for (int m = 0; m < 4; ++m) {
+    os << "  info->covLen[" << m << "] = " << covLen[m] << "ULL;\n";
+  }
+  os << "  info->numActors = " << numActors << "ULL;\n"
+     << "  info->numDiagKinds = " << kNumDiagKinds << "ULL;\n"
+     << "  info->numCustom = " << numCustom << "ULL;\n"
+     << "  info->numCollect = " << collectSignals_.size() << "ULL;\n"
+     << "  info->collectValsLen = " << collectValsLen << "ULL;\n"
+     << "  info->outValsLen = " << outValsLen << "ULL;\n"
+     << "  return ACCMOS_ABI_OK;\n"
+     << "}\n\n";
+
+  os << "extern \"C\" int accmos_run(const AccmosRunArgs* args, "
+        "AccmosRunResult* res) {\n"
+     << "  if (!args || !res ||\n"
+     << "      args->structSize != (uint32_t)sizeof(AccmosRunArgs) ||\n"
+     << "      res->structSize != (uint32_t)sizeof(AccmosRunResult)) "
+        "return ACCMOS_ABI_EARG;\n"
+     << "  if (args->abiVersion != ACCMOS_ABI_VERSION ||\n"
+     << "      res->abiVersion != ACCMOS_ABI_VERSION) "
+        "return ACCMOS_ABI_EVERSION;\n";
+  for (int m = 0; m < 4; ++m) {
+    os << "  if (res->covLen[" << m << "] != " << covLen[m] << "ULL";
+    if (covLen[m] > 0) os << " || res->cov[" << m << "] == 0";
+    os << ") return ACCMOS_ABI_EBUFFER;\n";
+  }
+  if (diagPlan_ != nullptr) {
+    os << "  if (res->diagCap < " << numActors * kNumDiagKinds
+       << "ULL || res->diags == 0) return ACCMOS_ABI_EBUFFER;\n";
+  }
+  if (numCustom > 0) {
+    os << "  if (res->customCap < " << numCustom
+       << "ULL || res->customs == 0) return ACCMOS_ABI_EBUFFER;\n";
+  }
+  os << "  if (res->numCollect != " << collectSignals_.size()
+     << "ULL || res->collectValsLen != " << collectValsLen
+     << "ULL || res->outValsLen != " << outValsLen
+     << "ULL) return ACCMOS_ABI_EBUFFER;\n";
+  if (!collectSignals_.empty()) {
+    os << "  if (res->collectCounts == 0 || res->collectVals == 0) "
+          "return ACCMOS_ABI_EBUFFER;\n";
+  }
+  if (outValsLen > 0) {
+    os << "  if (res->outVals == 0) return ACCMOS_ABI_EBUFFER;\n";
+  }
+  os << "  accmos_model* M = new (std::nothrow) accmos_model();\n"
+     << "  if (!M) return ACCMOS_ABI_EALLOC;\n"
+     << "  int stopped = 0;\n"
+     << "  unsigned long long ns = 0;\n"
+     << "  res->stepsExecuted = M->accmos_sim_run(args->maxSteps, "
+        "args->timeBudgetSec,\n"
+     << "                                         args->seed, &stopped, "
+        "&ns);\n"
+     << "  res->stoppedEarly = (uint32_t)stopped;\n"
+     << "  res->execNs = ns;\n";
+  for (int m = 0; m < 4; ++m) {
+    if (covLen[m] > 0) {
+      os << "  memcpy(res->cov[" << m << "], M->" << covArr[m] << ", "
+         << covLen[m] << ");\n";
+    }
+  }
+  if (diagPlan_ != nullptr) {
+    os << "  uint64_t nd = 0;\n"
+       << "  for (int a = 0; a < " << numActors << "; ++a)\n"
+       << "    for (int k = 0; k < " << kNumDiagKinds << "; ++k) {\n"
+       << "      uint64_t c = M->accmos_diag_count[a * " << kNumDiagKinds
+       << " + k];\n"
+       << "      if (c) { res->diags[nd].actorId = a; "
+          "res->diags[nd].kind = k;\n"
+       << "        res->diags[nd].firstStep = M->accmos_diag_first[a * "
+       << kNumDiagKinds << " + k];\n"
+       << "        res->diags[nd].count = c; ++nd; }\n"
+       << "    }\n"
+       << "  res->diagCount = nd;\n";
+  } else {
+    os << "  res->diagCount = 0;\n";
+  }
+  if (numCustom > 0) {
+    os << "  uint64_t nc = 0;\n";
+    for (size_t k = 0; k < numCustom; ++k) {
+      os << "  if (M->cd_count_" << k << ") { res->customs[nc].index = " << k
+         << "ULL; res->customs[nc].firstStep = M->cd_first_" << k
+         << "; res->customs[nc].count = M->cd_count_" << k << "; ++nc; }\n";
+    }
+    os << "  res->customCount = nc;\n";
+  } else {
+    os << "  res->customCount = 0;\n";
+  }
+  size_t off = 0;
+  for (size_t k = 0; k < collectSignals_.size(); ++k) {
+    const SignalInfo& sig = fm_.signal(collectSignals_[k]);
+    os << "  res->collectCounts[" << k << "] = M->colcnt" << k << ";\n"
+       << "  for (int i = 0; i < " << sig.width << "; ++i) res->collectVals["
+       << off << " + i] = "
+       << packExpr(sig.type, "M->col" + std::to_string(k) + "[i]") << ";\n";
+    off += static_cast<size_t>(sig.width);
+  }
+  off = 0;
+  for (size_t k = 0; k < fm_.rootOutports.size(); ++k) {
+    const FlatActor& fa = fm_.actor(fm_.rootOutports[k]);
+    const SignalInfo& sig = fm_.signal(fa.inputs[0]);
+    os << "  for (int i = 0; i < " << sig.width << "; ++i) res->outVals["
+       << off << " + i] = "
+       << packExpr(sig.type, "M->s" + std::to_string(fa.inputs[0]) + "[i]")
+       << ";\n";
+    off += static_cast<size_t>(sig.width);
+  }
+  os << "  delete M;\n"
+     << "  return ACCMOS_ABI_OK;\n"
+     << "}\n\n";
+}
+
 void Emitter::emitMain(std::ostringstream& os) {
   os << "int main(int argc, char* argv[]) {\n"
      << "  uint64_t maxSteps = " << opt_.maxSteps << "ULL;\n"
@@ -330,25 +518,12 @@ void Emitter::emitMain(std::ostringstream& os) {
      << "  if (argc > 1) maxSteps = strtoull(argv[1], 0, 10);\n"
      << "  if (argc > 2) budget = atof(argv[2]);\n"
      << "  if (argc > 3) seed = strtoull(argv[3], 0, 10);\n"
-     << "  Model_Init(seed);\n"
+     << "  accmos_model* Mp = new accmos_model();\n"
+     << "  accmos_model& M = *Mp;\n"
      << "  int stoppedEarly = 0;\n"
-     << "  auto t0 = std::chrono::steady_clock::now();\n"
-     << "  uint64_t step = 0;\n"
-     << "  for (; step < maxSteps; ++step) {\n"
-     << "    accmos_fill_inputs(step);\n"
-     << "    Model_Exe(step);\n"
-     << "    if (accmos_stop) { ++step; stoppedEarly = 1; break; }\n";
-  if (opt_.stopOnDiagnostic) {
-    os << "    if (accmos_diag_fired) { ++step; stoppedEarly = 1; break; }\n";
-  }
-  os << "    if (budget > 0.0 && (step & 1023) == 1023 &&\n"
-     << "        std::chrono::duration<double>(std::chrono::steady_clock::now()"
-        " - t0).count() >= budget) { ++step; break; }\n"
-     << "  }\n"
-     << "  auto t1 = std::chrono::steady_clock::now();\n"
-     << "  unsigned long long ns = (unsigned long long)\n"
-     << "      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - "
-        "t0).count();\n"
+     << "  unsigned long long ns = 0;\n"
+     << "  uint64_t step = M.accmos_sim_run(maxSteps, budget, seed, "
+        "&stoppedEarly, &ns);\n"
      << "  // ---- result protocol ----\n"
      << "  printf(\"ACCMOS_RESULT_BEGIN\\n\");\n"
      << "  printf(\"STEPS %llu\\n\", (unsigned long long)step);\n"
@@ -370,7 +545,7 @@ void Emitter::emitMain(std::ostringstream& os) {
     };
     for (const auto& m : maps) {
       os << "  printf(\"COVMAP " << m.name << " \");\n"
-         << "  for (int i = 0; i < " << m.total << "; ++i) putchar("
+         << "  for (int i = 0; i < " << m.total << "; ++i) putchar(M."
          << m.arr << "[i] ? '1' : '0');\n"
          << "  putchar('\\n');\n";
     }
@@ -378,24 +553,24 @@ void Emitter::emitMain(std::ostringstream& os) {
   if (diagPlan_ != nullptr) {
     os << "  for (int a = 0; a < " << fm_.actors.size() << "; ++a)\n"
        << "    for (int k = 0; k < " << kNumDiagKinds << "; ++k) {\n"
-       << "      uint64_t c = accmos_diag_count[a * " << kNumDiagKinds
+       << "      uint64_t c = M.accmos_diag_count[a * " << kNumDiagKinds
        << " + k];\n"
        << "      if (c) printf(\"DIAG %d %d %llu %llu\\n\", a, k,\n"
-       << "                    (unsigned long long)accmos_diag_first[a * "
+       << "                    (unsigned long long)M.accmos_diag_first[a * "
        << kNumDiagKinds << " + k], (unsigned long long)c);\n"
        << "    }\n";
   }
   for (size_t k = 0; k < opt_.customDiagnostics.size(); ++k) {
-    os << "  if (cd_count_" << k << ") printf(\"CUSTOM " << k
-       << " %llu %llu\\n\", (unsigned long long)cd_first_" << k
-       << ", (unsigned long long)cd_count_" << k << ");\n";
+    os << "  if (M.cd_count_" << k << ") printf(\"CUSTOM " << k
+       << " %llu %llu\\n\", (unsigned long long)M.cd_first_" << k
+       << ", (unsigned long long)M.cd_count_" << k << ");\n";
   }
   for (size_t k = 0; k < collectSignals_.size(); ++k) {
     const SignalInfo& sig = fm_.signal(collectSignals_[k]);
     os << "  printf(\"COLLECT " << k << " %llu " << sig.width
-       << "\", (unsigned long long)colcnt" << k << ");\n"
+       << "\", (unsigned long long)M.colcnt" << k << ");\n"
        << "  for (int i = 0; i < " << sig.width << "; ++i) "
-       << printfFor(sig.type, "col" + std::to_string(k) + "[i]") << "\n"
+       << printfFor(sig.type, "M.col" + std::to_string(k) + "[i]") << "\n"
        << "  putchar('\\n');\n";
   }
   for (size_t k = 0; k < fm_.rootOutports.size(); ++k) {
@@ -403,11 +578,12 @@ void Emitter::emitMain(std::ostringstream& os) {
     const SignalInfo& sig = fm_.signal(fa.inputs[0]);
     os << "  printf(\"OUT " << k << " " << sig.width << "\");\n"
        << "  for (int i = 0; i < " << sig.width << "; ++i) "
-       << printfFor(sig.type, "s" + std::to_string(fa.inputs[0]) + "[i]")
+       << printfFor(sig.type, "M.s" + std::to_string(fa.inputs[0]) + "[i]")
        << "\n"
        << "  putchar('\\n');\n";
   }
   os << "  printf(\"ACCMOS_RESULT_END\\n\");\n"
+     << "  delete Mp;\n"
      << "  return 0;\n"
      << "}\n";
 }
@@ -455,16 +631,34 @@ std::string Emitter::generate() {
   }
   current_ = nullptr;
 
-  // Pass 2: compose the program (paper Fig. 5).
+  // Pass 2: compose the program (paper Fig. 5). All mutable state and the
+  // model functions sit inside `struct accmos_model`: unqualified member
+  // references keep the emitted actor code textually identical to the old
+  // file-scope form, while `new accmos_model()` gives every run — the
+  // standalone main() or a concurrent accmos_run() ABI call — a private
+  // zero-initialized state instance.
   std::ostringstream os;
   os << "// Generated by AccMoS for model '" << fm_.modelName << "'\n";
   os << runtimePreamble();
+  os << runAbiText();
+  emitConstTables(os);
+  // The anonymous namespace is load-bearing: it gives the struct (and the
+  // statics inside its inline member functions) internal linkage. Without
+  // it the actor templates' function-local tables become STB_GNU_UNIQUE
+  // symbols, and a process that dlopens several generated libraries would
+  // silently resolve them all to the first library's data.
+  os << "namespace {\n"
+     << "struct accmos_model {\n";
   emitDiagRuntime(os);
   emitDeclarations(os);
   for (const auto& fn : diagFuncs_) os << fn << "\n";
   emitFillInputs(os);
   emitModelInit(os);
   emitModelExe(os);
+  emitSimLoop(os);
+  os << "};\n"
+     << "}  // namespace\n\n";
+  emitAbi(os);
   emitMain(os);
   return os.str();
 }

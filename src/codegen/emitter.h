@@ -53,11 +53,19 @@ class Emitter : public EmitSink {
   std::string freshVar(const std::string& hint) override;
 
  private:
+  // Generated-program sections. All mutable simulation state lives in one
+  // `struct accmos_model`; emitDeclarations/emitDiagRuntime/emitFillInputs/
+  // emitModelInit/emitModelExe/emitSimLoop produce its members, so every
+  // run — the standalone main() or an accmos_run() call through the shared
+  // library ABI — executes against a private, zero-initialized instance.
+  void emitConstTables(std::ostringstream& os);
   void emitDeclarations(std::ostringstream& os);
   void emitDiagRuntime(std::ostringstream& os);
   void emitFillInputs(std::ostringstream& os);
   void emitModelInit(std::ostringstream& os);
   void emitModelExe(std::ostringstream& os);
+  void emitSimLoop(std::ostringstream& os);
+  void emitAbi(std::ostringstream& os);
   void emitMain(std::ostringstream& os);
 
   std::string makeDiagFunction(

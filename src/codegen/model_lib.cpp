@@ -1,0 +1,66 @@
+#include "codegen/model_lib.h"
+
+#include <dlfcn.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+namespace accmos {
+
+namespace {
+
+bool dlopenForcedToFail() {
+  const char* v = std::getenv("ACCMOS_DLOPEN_FAIL");
+  return v != nullptr && v[0] != '\0' && std::string(v) != "0";
+}
+
+std::string dlerrorText() {
+  const char* e = ::dlerror();
+  return e != nullptr ? e : "unknown dlopen error";
+}
+
+}  // namespace
+
+ModelLib::ModelLib(const std::string& path) : path_(path) {
+  auto t0 = std::chrono::steady_clock::now();
+  if (dlopenForcedToFail()) {
+    throw CompileError("dlopen of generated model library " + path +
+                       " disabled by ACCMOS_DLOPEN_FAIL");
+  }
+  handle_ = ::dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle_ == nullptr) {
+    throw CompileError("dlopen of generated model library failed: " +
+                       dlerrorText());
+  }
+  auto* infoFn = reinterpret_cast<AccmosModelInfoFn>(
+      ::dlsym(handle_, ACCMOS_SYM_MODEL_INFO));
+  run_ = reinterpret_cast<AccmosRunFn>(::dlsym(handle_, ACCMOS_SYM_RUN));
+  if (infoFn == nullptr || run_ == nullptr) {
+    std::string err = dlerrorText();
+    ::dlclose(handle_);
+    handle_ = nullptr;
+    throw CompileError("generated model library " + path +
+                       " is missing an ABI entry point: " + err);
+  }
+  std::memset(&info_, 0, sizeof(info_));
+  info_.structSize = static_cast<uint32_t>(sizeof(AccmosModelInfo));
+  int rc = infoFn(&info_);
+  if (rc != ACCMOS_ABI_OK || info_.abiVersion != ACCMOS_ABI_VERSION) {
+    uint32_t gotVersion = info_.abiVersion;
+    ::dlclose(handle_);
+    handle_ = nullptr;
+    throw CompileError(
+        "generated model library " + path + " reports incompatible ABI (rc=" +
+        std::to_string(rc) + ", version=" + std::to_string(gotVersion) +
+        ", host expects " + std::to_string(ACCMOS_ABI_VERSION) + ")");
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  loadSeconds_ = std::chrono::duration<double>(t1 - t0).count();
+}
+
+ModelLib::~ModelLib() {
+  if (handle_ != nullptr) ::dlclose(handle_);
+}
+
+}  // namespace accmos

@@ -1,33 +1,56 @@
-// Parses the result protocol printed by a generated simulation binary back
-// into the same SimulationResult structure the in-process engines produce —
-// what makes AccMoS-vs-SSE results directly comparable in the tests and in
-// the Table 2/3 benches.
+// Decodes generated-simulator results back into the SimulationResult
+// structure the in-process engines produce — what makes AccMoS-vs-SSE
+// results directly comparable in the tests and in the Table 2/3 benches.
+//
+// Two decoders, one contract:
+//   parseResults        — the text result protocol captured from a
+//                         subprocess run (ExecMode::Process).
+//   decodeBinaryResults — the packed buffers an in-process accmos_run()
+//                         call filled (ExecMode::Dlopen).
+// Both must produce bit-identical SimulationResults for the same
+// simulation; the differential tests in tests/test_exec_modes.cpp hold
+// them to it.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "codegen/run_abi.h"
 #include "cov/coverage.h"
 #include "diag/diagnosis.h"
 #include "graph/flat_model.h"
+#include "ir/model.h"
 #include "sim/options.h"
 #include "sim/result.h"
 
 namespace accmos {
 
-class ResultParseError : public std::runtime_error {
+// Malformed or truncated result data. A ModelError so pipeline-level
+// handlers see it; the message always carries the offending protocol line
+// number for the text decoder.
+class ResultParseError : public ModelError {
  public:
-  explicit ResultParseError(const std::string& what)
-      : std::runtime_error(what) {}
+  explicit ResultParseError(const std::string& what) : ModelError(what) {}
 };
 
 // `collectSignals` must be the emitter's monitored-signal list; plans may be
 // null when the program was generated without the corresponding
-// instrumentation.
+// instrumentation. Throws ResultParseError (with the 1-based line number of
+// the offending line in `output`) on any malformed, truncated, or
+// out-of-range field — never returns a silent partial result.
 SimulationResult parseResults(const std::string& output, const FlatModel& fm,
                               const CoveragePlan* covPlan,
                               const DiagnosisPlan* diagPlan,
                               const std::vector<int>& collectSignals,
                               const std::vector<CustomDiagnostic>& custom);
+
+// Decodes the caller-owned buffers of a completed accmos_run() call. The
+// AccmosRunResult must have been filled by a run returning ACCMOS_ABI_OK
+// against buffers sized from the library's AccmosModelInfo.
+SimulationResult decodeBinaryResults(
+    const AccmosRunResult& res, const FlatModel& fm,
+    const CoveragePlan* covPlan, const DiagnosisPlan* diagPlan,
+    const std::vector<int>& collectSignals,
+    const std::vector<CustomDiagnostic>& custom);
 
 }  // namespace accmos

@@ -13,6 +13,7 @@ std::string_view runtimePreamble() {
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <new>
 
 struct accmos_wrapres { int64_t value; int wrapped; int prec; };
 struct accmos_divres { int64_t value; int wrapped; int divzero; };
@@ -215,8 +216,17 @@ static inline uint64_t accmos_portseed(uint64_t runSeed, int portIndex) {
   return accmos_sm64_next(&state);
 }
 
-static int accmos_stop = 0;
-static int accmos_diag_fired = 0;
+// Binary-ABI value packing: floats travel as their IEEE-754 double bit
+// pattern, so the host-side decoder reproduces the text protocol's
+// %.17g/strtod round-trip bit for bit.
+static inline uint64_t accmos_pack_f(double v) {
+  uint64_t u;
+  memcpy(&u, &v, 8);
+  return u;
+}
+
+// accmos_stop / accmos_diag_fired live in the per-run model-state struct
+// (accmos_model), so concurrent in-process runs cannot observe each other.
 // ---- end of runtime ------------------------------------------------------
 )RT";
   return kPreamble;

@@ -14,4 +14,9 @@ namespace accmos {
 
 std::string_view runtimePreamble();
 
+// The exact text of src/codegen/run_abi.h (embedded at build time), pasted
+// into generated sources after the preamble so the shared-library entry
+// points are compiled against the same ABI structs the host uses.
+std::string_view runAbiText();
+
 }  // namespace accmos

@@ -34,6 +34,11 @@ inline constexpr DiagKind kAllDiagKinds[] = {
     DiagKind::Custom,
 };
 
+// Number of diagnostic kinds — the row width of the per-actor diagnostic
+// tables in generated code and in the binary result ABI.
+inline constexpr int kNumDiagKinds =
+    static_cast<int>(sizeof(kAllDiagKinds) / sizeof(kAllDiagKinds[0]));
+
 std::string_view diagKindName(DiagKind k);
 std::optional<DiagKind> diagKindFromName(std::string_view name);
 

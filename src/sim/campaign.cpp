@@ -70,16 +70,19 @@ AccMoSEngine* SpecEvaluator::engineFor(const TestCaseSpec& spec) {
   if (!engine->compileCacheHit()) ++cacheMisses_;
   generateSeconds_ += engine->generateSeconds();
   compileSeconds_ += engine->compileSeconds();
+  loadSeconds_ += engine->loadSeconds();
   return engines_.emplace(std::move(key), std::move(engine))
       .first->second.get();
 }
 
 // Runs every spec, storing the result at the spec's index. With more than
 // one worker, specs are pulled from a shared counter by a pool of threads:
-// the SSE engine gets one persistent interpreter instance per worker, the
-// AccMoS engine launches concurrent executions of the per-shape compiled
-// binaries (each child process writes its result stream to its own pipe).
-// The first exception thrown by any worker is rethrown on the caller.
+// the SSE engine gets one persistent interpreter instance per worker; the
+// AccMoS engine's run() is thread-safe in both exec modes, so workers call
+// the per-shape engines directly — concurrent accmos_run() calls into one
+// loaded library (dlopen mode) or concurrent child processes each writing
+// to their own pipe (process mode). The first exception thrown by any
+// worker is rethrown on the caller.
 std::vector<SimulationResult> SpecEvaluator::evaluate(
     const std::vector<TestCaseSpec>& specs) {
   if (specs.empty()) {
@@ -168,6 +171,7 @@ CampaignResult runCampaignSpecs(const FlatModel& fm, const SimOptions& opt,
   std::vector<SimulationResult> results = evaluator.evaluate(specs);
   out.generateSeconds = evaluator.generateSeconds();
   out.compileSeconds = evaluator.compileSeconds();
+  out.loadSeconds = evaluator.loadSeconds();
   out.compileCacheHit =
       evaluator.enginesBuilt() > 0 && evaluator.allCompileCacheHits();
 

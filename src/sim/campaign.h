@@ -4,8 +4,9 @@
 // different parts of models", §3.2.A).
 //
 // With Engine::AccMoS the model is generated and compiled once and the
-// binary re-run per seed, which is exactly how a generated simulator
-// amortizes over a test campaign.
+// simulator re-run per seed — in-process accmos_run() calls into one
+// dlopen'd library by default, child processes in ExecMode::Process —
+// which is exactly how a generated simulator amortizes over a campaign.
 //
 // Campaigns scale across cores: `SimOptions::campaign.workers` fans the
 // seeds out over a worker pool (N concurrent executions of the one
@@ -49,6 +50,7 @@ struct CampaignResult {
   double wallSeconds = 0.0;           // wall clock for the whole campaign
   double generateSeconds = 0.0;       // AccMoS one-off costs
   double compileSeconds = 0.0;
+  double loadSeconds = 0.0;           // AccMoS dlopen mode: library loads
   bool compileCacheHit = false;       // AccMoS: every binary came cached
   size_t workersUsed = 1;
   // The optimization pipeline runs once per campaign (not per seed);
@@ -84,9 +86,11 @@ CampaignResult runCampaignSpecs(const FlatModel& fm, const SimOptions& opt,
 // interpreter instance. For Engine::AccMoS one simulator is generated and
 // compiled per distinct stimulus *shape* (TestCaseSpec::shapeKey — the
 // seed is normalized out and passed as a runtime argument), cached for the
-// evaluator's lifetime, and executed as concurrent child processes; the
-// content-addressed compile cache absorbs repeated shapes across
-// evaluators and runs.
+// evaluator's lifetime, and executed concurrently — in the default dlopen
+// exec mode all workers call into the one loaded shared library (its
+// accmos_run ABI is reentrant), in process mode each run is a child
+// process; the content-addressed compile cache absorbs repeated shapes
+// across evaluators and runs.
 class SpecEvaluator {
  public:
   // Throws ModelError unless `opt` names an instrumented engine (SSE or
@@ -106,6 +110,7 @@ class SpecEvaluator {
   size_t enginesBuilt() const { return enginesBuilt_; }
   double generateSeconds() const { return generateSeconds_; }
   double compileSeconds() const { return compileSeconds_; }
+  double loadSeconds() const { return loadSeconds_; }
   bool allCompileCacheHits() const { return cacheMisses_ == 0; }
 
  private:
@@ -119,6 +124,7 @@ class SpecEvaluator {
   size_t cacheMisses_ = 0;
   double generateSeconds_ = 0.0;
   double compileSeconds_ = 0.0;
+  double loadSeconds_ = 0.0;
 };
 
 }  // namespace accmos

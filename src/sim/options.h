@@ -20,6 +20,25 @@ enum class Engine : uint8_t {
 
 std::string_view engineName(Engine e);
 
+// How the AccMoS engine executes the compiled simulator.
+//   Dlopen  — compile -shared -fPIC, dlopen once, run in-process through the
+//             binary result ABI (no subprocess, no text parsing per run).
+//             Falls back to Process automatically when the library cannot
+//             be built or loaded.
+//   Process — compile an executable, fork/exec per run, parse the text
+//             result protocol (the original backend; also the fallback).
+enum class ExecMode : uint8_t { Dlopen, Process };
+
+std::string_view execModeName(ExecMode m);
+
+// Default for SimOptions::execMode: ACCMOS_EXEC_MODE=process selects the
+// subprocess backend, anything else (including unset) selects dlopen.
+inline ExecMode defaultExecMode() {
+  const char* v = std::getenv("ACCMOS_EXEC_MODE");
+  if (v != nullptr && std::string(v) == "process") return ExecMode::Process;
+  return ExecMode::Dlopen;
+}
+
 // Multi-seed campaign execution knobs. The compiled AccMoS simulator is a
 // self-contained process taking the stimulus seed as an argument, so a
 // campaign fans seeds out across a worker pool: N concurrent executions of
@@ -69,6 +88,7 @@ struct SimOptions {
   std::vector<CustomDiagnostic> customDiagnostics;
 
   // AccMoS codegen knobs.
+  ExecMode execMode = defaultExecMode();  // see ExecMode above
   std::string optFlag = "-O3";   // compiler optimization level
   bool keepGeneratedCode = false;
   std::string workDir;           // empty = temp directory

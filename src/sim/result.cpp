@@ -23,6 +23,8 @@ std::string SimulationResult::summary() const {
   if (generateSeconds > 0.0 || compileSeconds > 0.0) {
     os << " gen=" << generateSeconds << "s compile=" << compileSeconds << "s";
   }
+  if (loadSeconds > 0.0) os << " load=" << loadSeconds << "s";
+  if (!execMode.empty()) os << " mode=" << execMode;
   if (hasCoverage) os << "\ncoverage: " << coverage.toString();
   os << "\ndiagnostics: " << diagnostics.size() << " kind(s)";
   for (const auto& rec : diagnostics) {
@@ -39,6 +41,14 @@ std::string_view engineName(Engine e) {
     case Engine::SSE: return "SSE";
     case Engine::SSEac: return "SSEac";
     case Engine::SSErac: return "SSErac";
+  }
+  return "?";
+}
+
+std::string_view execModeName(ExecMode m) {
+  switch (m) {
+    case ExecMode::Dlopen: return "dlopen";
+    case ExecMode::Process: return "process";
   }
   return "?";
 }

@@ -27,13 +27,20 @@ struct SimulationResult {
   bool stoppedEarly = false;  // StopSimulation actor or stop-on-diagnostic
 
   // Wall-clock split. For in-process engines only execSeconds is set; the
-  // AccMoS path also reports generation and compilation time.
+  // AccMoS path also reports generation and compilation time, and — in
+  // dlopen exec mode — the one-time shared-library load time.
   double execSeconds = 0.0;
   double generateSeconds = 0.0;
   double compileSeconds = 0.0;
+  double loadSeconds = 0.0;
   double totalSeconds() const {
-    return execSeconds + generateSeconds + compileSeconds;
+    return execSeconds + generateSeconds + compileSeconds + loadSeconds;
   }
+
+  // Execution backend the AccMoS engine actually used ("dlopen" or
+  // "process"; empty for the interpreting engines). May differ from
+  // SimOptions::execMode when the dlopen backend fell back to a subprocess.
+  std::string execMode;
 
   bool hasCoverage = false;
   CoverageReport coverage;

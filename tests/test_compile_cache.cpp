@@ -226,6 +226,36 @@ TEST_F(CompileCacheTest, CacheKeyIsStable) {
             CompilerDriver::cacheKey("int main(){ }", "-O2"));
 }
 
+// The artifact kind is part of the content address: identical source
+// compiled as an executable and as a shared library must never share a
+// cache entry — an exe handed to dlopen (or a .so handed to exec) would
+// fail in ways the sidecar cannot catch.
+TEST_F(CompileCacheTest, ArtifactKindIsPartOfTheCacheKey) {
+  const std::string src = "int main(){}";
+  EXPECT_NE(CompilerDriver::cacheKey(src, "-O2", ArtifactKind::Executable),
+            CompilerDriver::cacheKey(src, "-O2", ArtifactKind::SharedLib));
+  // The kind defaults to Executable, so pre-existing executable entries
+  // keep their addresses.
+  EXPECT_EQ(CompilerDriver::cacheKey(src, "-O2"),
+            CompilerDriver::cacheKey(src, "-O2", ArtifactKind::Executable));
+
+  // Compiling the same source both ways yields two distinct artifacts,
+  // each with its own entry that hits independently afterwards.
+  CompilerDriver driver;
+  const std::string source = "int main() { return 0; }\n";
+  auto exe = driver.compile(source, "both", "-O0", ArtifactKind::Executable);
+  auto lib = driver.compile(source, "both", "-O0", ArtifactKind::SharedLib);
+  EXPECT_NE(exe.exePath, lib.exePath);
+  EXPECT_FALSE(exe.cacheHit);
+  EXPECT_FALSE(lib.cacheHit);
+  auto exe2 = driver.compile(source, "both", "-O0", ArtifactKind::Executable);
+  auto lib2 = driver.compile(source, "both", "-O0", ArtifactKind::SharedLib);
+  EXPECT_TRUE(exe2.cacheHit);
+  EXPECT_TRUE(lib2.cacheHit);
+  EXPECT_EQ(exe2.exePath, exe.exePath);
+  EXPECT_EQ(lib2.exePath, lib.exePath);
+}
+
 // Regression for the error paths: a deliberately uncompilable source must
 // produce a CompileError (a ModelError) whose message carries the
 // compiler's actual stderr, not just an exit code.

@@ -1,0 +1,203 @@
+// The text result-protocol decoder's failure paths: every malformed,
+// truncated, or out-of-range line must raise a ResultParseError (a
+// ModelError) carrying the 1-based line number of the offending line —
+// never a silent partial result. A subprocess that died mid-protocol or a
+// generated program that drifted from the host must be loud and locatable.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "codegen/results_parser.h"
+#include "cov/coverage.h"
+#include "test_util.h"
+
+namespace accmos {
+namespace {
+
+using test::Tiny;
+
+class ResultsParserTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    t_ = std::make_unique<Tiny>();
+    t_->inport("In1", 1);
+    Actor& g = t_->actor("G", "Gain");
+    g.params().setDouble("gain", 2.0);
+    t_->outport("Out1", 1);
+    t_->wire("In1", "G");
+    t_->wire("G", "Out1");
+    fm_ = t_->flatten();
+    covPlan_ = CoveragePlan::build(
+        fm_, [](const FlatActor& fa) { return covTraitsFor(fa); });
+  }
+
+  SimulationResult parse(const std::string& out,
+                         const CoveragePlan* plan = nullptr) {
+    return parseResults(out, fm_, plan, nullptr, {}, {});
+  }
+
+  // The contract under test: the parser throws, the exception is a
+  // ModelError, and its message pinpoints the offending protocol line.
+  void expectFailAt(const std::string& out, size_t line,
+                    const std::string& substr,
+                    const CoveragePlan* plan = nullptr) {
+    try {
+      parse(out, plan);
+      FAIL() << "expected ResultParseError for:\n" << out;
+    } catch (const ModelError& e) {
+      std::string msg = e.what();
+      std::string marker = "result protocol line " + std::to_string(line) +
+                           ":";
+      EXPECT_NE(msg.find(marker), std::string::npos)
+          << "expected '" << marker << "' in: " << msg;
+      EXPECT_NE(msg.find(substr), std::string::npos)
+          << "expected '" << substr << "' in: " << msg;
+    }
+  }
+
+  std::unique_ptr<Tiny> t_;
+  FlatModel fm_;
+  CoveragePlan covPlan_;
+};
+
+TEST_F(ResultsParserTest, ParsesAWellFormedBlock) {
+  SimulationResult r = parse(
+      "ACCMOS_RESULT_BEGIN\n"
+      "STEPS 50\n"
+      "STOPPED_EARLY 1\n"
+      "EXEC_NS 2000\n"
+      "OUT 0 1 2.5\n"
+      "ACCMOS_RESULT_END\n");
+  EXPECT_EQ(r.stepsExecuted, 50u);
+  EXPECT_TRUE(r.stoppedEarly);
+  EXPECT_DOUBLE_EQ(r.execSeconds, 2e-6);
+  ASSERT_EQ(r.finalOutputs.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.finalOutputs[0].f(0), 2.5);
+}
+
+TEST_F(ResultsParserTest, TextBeforeBeginIsIgnored) {
+  // Programs may print diagnostics before the result block; only the block
+  // itself is protocol.
+  SimulationResult r = parse(
+      "OUT garbage that would fail inside the block\n"
+      "ACCMOS_RESULT_BEGIN\n"
+      "STEPS 7\n"
+      "ACCMOS_RESULT_END\n");
+  EXPECT_EQ(r.stepsExecuted, 7u);
+}
+
+TEST_F(ResultsParserTest, MissingBeginIsTruncation) {
+  expectFailAt("STEPS 50\n", 1, "ACCMOS_RESULT_BEGIN");
+}
+
+TEST_F(ResultsParserTest, MissingEndIsTruncation) {
+  // A subprocess killed mid-protocol: block opened, never closed.
+  expectFailAt(
+      "ACCMOS_RESULT_BEGIN\n"
+      "STEPS 50\n",
+      2, "ACCMOS_RESULT_END");
+}
+
+TEST_F(ResultsParserTest, MalformedScalarFieldsCarryTheirLine) {
+  expectFailAt(
+      "ACCMOS_RESULT_BEGIN\n"
+      "STEPS many\n"
+      "ACCMOS_RESULT_END\n",
+      2, "malformed STEPS");
+  expectFailAt(
+      "ACCMOS_RESULT_BEGIN\n"
+      "STEPS 50\n"
+      "STOPPED_EARLY\n"
+      "ACCMOS_RESULT_END\n",
+      3, "malformed STOPPED_EARLY");
+  expectFailAt(
+      "ACCMOS_RESULT_BEGIN\n"
+      "EXEC_NS\n"
+      "ACCMOS_RESULT_END\n",
+      2, "malformed EXEC_NS");
+}
+
+TEST_F(ResultsParserTest, TruncatedValueVectorFails) {
+  // OUT announces width 1 but the line ends before the element.
+  expectFailAt(
+      "ACCMOS_RESULT_BEGIN\n"
+      "OUT 0 1\n"
+      "ACCMOS_RESULT_END\n",
+      2, "truncated value vector");
+}
+
+TEST_F(ResultsParserTest, UnknownTagFails) {
+  expectFailAt(
+      "ACCMOS_RESULT_BEGIN\n"
+      "BOGUS 1 2 3\n"
+      "ACCMOS_RESULT_END\n",
+      2, "unknown result tag 'BOGUS'");
+}
+
+TEST_F(ResultsParserTest, DiagnosticRangeChecksFail) {
+  expectFailAt(
+      "ACCMOS_RESULT_BEGIN\n"
+      "DIAG 57 0 1 1\n"
+      "ACCMOS_RESULT_END\n",
+      2, "bad actor id 57");
+  expectFailAt(
+      "ACCMOS_RESULT_BEGIN\n"
+      "DIAG 0 42 1 1\n"
+      "ACCMOS_RESULT_END\n",
+      2, "bad kind 42");
+  expectFailAt(
+      "ACCMOS_RESULT_BEGIN\n"
+      "DIAG 0 0\n"
+      "ACCMOS_RESULT_END\n",
+      2, "malformed DIAG");
+}
+
+TEST_F(ResultsParserTest, IndexAndWidthChecksFail) {
+  // This model has one outport; index 5 is out of range.
+  expectFailAt(
+      "ACCMOS_RESULT_BEGIN\n"
+      "OUT 5 1 2.5\n"
+      "ACCMOS_RESULT_END\n",
+      2, "output index 5 out of range");
+  // Width must match the signal (scalar here).
+  expectFailAt(
+      "ACCMOS_RESULT_BEGIN\n"
+      "OUT 0 3 1 2 3\n"
+      "ACCMOS_RESULT_END\n",
+      2, "output width mismatch");
+  // No signals are monitored, so any COLLECT index is out of range.
+  expectFailAt(
+      "ACCMOS_RESULT_BEGIN\n"
+      "COLLECT 0 10 1 2.5\n"
+      "ACCMOS_RESULT_END\n",
+      2, "collect index 0 out of range");
+  expectFailAt(
+      "ACCMOS_RESULT_BEGIN\n"
+      "CUSTOM 0 1 1\n"
+      "ACCMOS_RESULT_END\n",
+      2, "custom diagnostic index 0 out of range");
+}
+
+TEST_F(ResultsParserTest, CoverageBitmapSizeMismatchFails) {
+  // With a real plan, a bitmap of the wrong length is a protocol drift
+  // (host and generated program disagree about instrumentation geometry).
+  std::string name(covMetricName(CovMetric::Actor));
+  std::string bits(
+      static_cast<size_t>(covPlan_.totalSlots(CovMetric::Actor)) + 1, '1');
+  expectFailAt(
+      "ACCMOS_RESULT_BEGIN\n"
+      "COVMAP " + name + " " + bits + "\n"
+      "ACCMOS_RESULT_END\n",
+      2, "coverage bitmap size mismatch", &covPlan_);
+}
+
+TEST_F(ResultsParserTest, ErrorsAreCatchableAsModelError) {
+  // Pipeline-level handlers catch ModelError; the parse errors must flow
+  // through that path, not bypass it.
+  EXPECT_THROW(parse(""), ModelError);
+  EXPECT_THROW(parse(""), ResultParseError);
+}
+
+}  // namespace
+}  // namespace accmos

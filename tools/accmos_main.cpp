@@ -23,6 +23,8 @@
 //   --opt=-O2                          compiler flag for generated code
 //   --no-opt                           skip the model optimization pipeline
 //                                      (also: env ACCMOS_NO_OPT=1)
+//   --exec-mode=dlopen|process         AccMoS execution backend (default
+//                                      dlopen; also: env ACCMOS_EXEC_MODE)
 //
 // gen --budget options (testgen mode; presence of --budget selects it):
 //   --budget=N           candidate evaluations (the search budget)
@@ -68,10 +70,10 @@ int usage() {
                "             [--tests=F.csv] [--seed=N] [--collect=PATH]...\n"
                "             [--no-coverage] [--no-diagnosis] "
                "[--stop-on-diagnostic] [--opt=-O3] [--no-opt] "
-               "[--show-uncovered]\n"
+               "[--exec-mode=dlopen|process] [--show-uncovered]\n"
                "  accmos campaign <model.xml> [--seeds=N] [--steps=M] "
                "[--engine=accmos|sse] [--workers=W] [--no-opt] "
-               "[--show-uncovered]\n"
+               "[--exec-mode=dlopen|process] [--show-uncovered]\n"
                "  accmos export-suite <directory>\n");
   return 2;
 }
@@ -80,6 +82,20 @@ bool flagValue(const std::string& arg, const char* name, std::string* out) {
   std::string prefix = std::string(name) + "=";
   if (arg.rfind(prefix, 0) != 0) return false;
   *out = arg.substr(prefix.size());
+  return true;
+}
+
+// --exec-mode=dlopen|process; returns false (after printing) on a bad value.
+bool parseExecMode(const std::string& v, SimOptions* opt) {
+  if (v == "dlopen") {
+    opt->execMode = ExecMode::Dlopen;
+  } else if (v == "process") {
+    opt->execMode = ExecMode::Process;
+  } else {
+    std::fprintf(stderr, "exec mode must be dlopen or process, not '%s'\n",
+                 v.c_str());
+    return false;
+  }
   return true;
 }
 
@@ -198,6 +214,8 @@ int cmdTestGen(const std::string& path,
       opt.maxSteps = std::strtoull(v.c_str(), nullptr, 10);
     } else if (flagValue(arg, "--workers", &v)) {
       opt.campaign.workers = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flagValue(arg, "--exec-mode", &v)) {
+      if (!parseExecMode(v, &opt)) return 2;
     } else if (arg == "--no-opt") {
       opt.optimize = false;
     } else if (arg == "--show-uncovered") {
@@ -283,6 +301,8 @@ int cmdRun(const std::string& path, const std::vector<std::string>& args) {
       opt.collectList.push_back(v);
     } else if (flagValue(arg, "--opt", &v)) {
       opt.optFlag = v;
+    } else if (flagValue(arg, "--exec-mode", &v)) {
+      if (!parseExecMode(v, &opt)) return 2;
     } else if (arg == "--no-coverage") {
       opt.coverage = false;
     } else if (arg == "--no-diagnosis") {
@@ -326,8 +346,11 @@ int cmdRun(const std::string& path, const std::vector<std::string>& args) {
                         static_cast<double>(res.stepsExecuted)
                   : 0.0);
   if (res.generateSeconds > 0.0 || res.compileSeconds > 0.0) {
-    std::printf("codegen  : %.3fs generate + %.3fs compile\n",
+    std::printf("codegen  : %.3fs generate + %.3fs compile",
                 res.generateSeconds, res.compileSeconds);
+    if (res.loadSeconds > 0.0) std::printf(" + %.3fs load", res.loadSeconds);
+    if (!res.execMode.empty()) std::printf(" [%s]", res.execMode.c_str());
+    std::printf("\n");
   }
   if (res.hasCoverage) {
     std::printf("coverage : %s\n", res.coverage.toString().c_str());
@@ -386,6 +409,8 @@ int cmdCampaign(const std::string& path,
         std::fprintf(stderr, "campaign engine must be accmos or sse\n");
         return 2;
       }
+    } else if (flagValue(arg, "--exec-mode", &v)) {
+      if (!parseExecMode(v, &opt)) return 2;
     } else if (arg == "--no-opt") {
       opt.optimize = false;
     } else if (arg == "--show-uncovered") {
@@ -419,8 +444,9 @@ int cmdCampaign(const std::string& path,
   std::printf("exec     : %.3fs total, %.3fs wall", cr.totalExecSeconds,
               cr.wallSeconds);
   if (cr.compileSeconds > 0.0) {
-    std::printf(" (+%.3fs one-off generate+compile%s)",
+    std::printf(" (+%.3fs one-off generate+compile%s%s)",
                 cr.generateSeconds + cr.compileSeconds,
+                cr.loadSeconds > 0.0 ? ", dlopen" : "",
                 cr.compileCacheHit ? ", cached" : "");
   }
   std::printf("\ndiagnosis: %zu distinct event(s) across the campaign\n",
