@@ -1,6 +1,8 @@
 #include "codegen/accmos_engine.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <vector>
@@ -12,6 +14,18 @@
 #include "codegen/results_parser.h"
 
 namespace accmos {
+
+namespace {
+
+// Test hook mirroring ACCMOS_DLOPEN_FAIL: forces runBatch() onto the
+// per-seed scalar fallback so the fallback matrix can be exercised without
+// manufacturing a defective library.
+bool batchForcedToFail() {
+  const char* v = std::getenv("ACCMOS_BATCH_FAIL");
+  return v != nullptr && v[0] != '\0' && std::string(v) != "0";
+}
+
+}  // namespace
 
 AccMoSEngine::AccMoSEngine(const FlatModel& fm, const SimOptions& opt,
                            const TestCaseSpec& tests)
@@ -59,9 +73,21 @@ AccMoSEngine::AccMoSEngine(const FlatModel& fm, const SimOptions& opt,
     // compiler without -shared/-fPIC support, a dlopen error, a library
     // with the wrong ABI — degrades to the subprocess backend rather than
     // failing the engine.
+    //
+    // The batch kernel is compiled in via -DACCMOS_BATCH_LANES=N, not by
+    // changing the generated source, so the flag must be part of the
+    // compile-cache identity (CompilerDriver::cacheKey hashes extraFlags):
+    // a cached batchless artifact is never served to a batch-requesting
+    // engine, and vice versa.
+    std::string extraFlags;
+    if (opt_.batchLanes > 0) {
+      extraFlags =
+          "-DACCMOS_BATCH_LANES=" + std::to_string(opt_.batchLanes);
+    }
     try {
-      auto compiled = driver_->compile(source_, "model_" + fm_.modelName,
-                                       opt_.optFlag, ArtifactKind::SharedLib);
+      auto compiled =
+          driver_->compile(source_, "model_" + fm_.modelName, opt_.optFlag,
+                           ArtifactKind::SharedLib, extraFlags);
       compileSeconds_ = compiled.seconds;
       compileCacheHit_ = compiled.cacheHit;
       // dlopen a private per-engine copy, never the shared cache entry
@@ -149,7 +175,11 @@ SimulationResult AccMoSEngine::runInProcess(uint64_t steps, double budget,
   AccmosRunArgs args;
   std::memset(&args, 0, sizeof(args));
   args.structSize = static_cast<uint32_t>(sizeof(AccmosRunArgs));
-  args.abiVersion = ACCMOS_ABI_VERSION;
+  // Stamp the version the LIBRARY implements, not our compile-time
+  // constant: a v1 library checks args against version 1 (the scalar
+  // arg/result layouts are identical across versions, so this is the only
+  // difference that matters).
+  args.abiVersion = lib_->abiVersion();
   args.maxSteps = steps;
   args.timeBudgetSec = budget;
   args.seed = seed;
@@ -157,7 +187,7 @@ SimulationResult AccMoSEngine::runInProcess(uint64_t steps, double budget,
   AccmosRunResult res;
   std::memset(&res, 0, sizeof(res));
   res.structSize = static_cast<uint32_t>(sizeof(AccmosRunResult));
-  res.abiVersion = ACCMOS_ABI_VERSION;
+  res.abiVersion = lib_->abiVersion();
   for (int m = 0; m < 4; ++m) {
     cov[m].resize(static_cast<size_t>(info.covLen[m]));
     res.cov[m] = cov[m].empty() ? nullptr : cov[m].data();
@@ -201,6 +231,16 @@ SimulationResult AccMoSEngine::runSubprocess(uint64_t steps, double budget,
   return result;
 }
 
+void AccMoSEngine::finishResult(SimulationResult& r) const {
+  if (opt_.coverage) {
+    r.coverage = makeReport(covPlan_, r.bitmaps);
+    r.hasCoverage = true;
+  }
+  r.generateSeconds = generateSeconds_;
+  r.compileSeconds = compileSeconds_;
+  r.loadSeconds = loadSeconds_;
+}
+
 SimulationResult AccMoSEngine::run(uint64_t maxStepsOverride,
                                    double timeBudgetOverride,
                                    std::optional<uint64_t> seedOverride) {
@@ -211,14 +251,128 @@ SimulationResult AccMoSEngine::run(uint64_t maxStepsOverride,
   SimulationResult result = lib_ != nullptr
                                 ? runInProcess(steps, budget, seed)
                                 : runSubprocess(steps, budget, seed);
-  if (opt_.coverage) {
-    result.coverage = makeReport(covPlan_, result.bitmaps);
-    result.hasCoverage = true;
-  }
-  result.generateSeconds = generateSeconds_;
-  result.compileSeconds = compileSeconds_;
-  result.loadSeconds = loadSeconds_;
+  finishResult(result);
   return result;
+}
+
+uint64_t AccMoSEngine::batchLanes() const {
+  if (lib_ == nullptr || batchForcedToFail()) return 0;
+  return lib_->batchLanes();
+}
+
+void AccMoSEngine::runBatchChunk(const uint64_t* seeds, size_t n,
+                                 uint64_t steps, double budget,
+                                 std::vector<SimulationResult>& out) {
+  const AccmosModelInfo& info = lib_->info();
+  const size_t diagStride =
+      static_cast<size_t>(info.numActors * info.numDiagKinds);
+
+  // One strided arena per buffer kind for the whole chunk — lane l's view
+  // is [l * stride, (l+1) * stride). Against n scalar runs this replaces
+  // ~10n allocations with ~10 and is a real part of the batch win on
+  // short runs; the library only ever sees the per-lane views.
+  std::vector<uint8_t> cov[4];
+  for (int m = 0; m < 4; ++m) {
+    cov[m].resize(static_cast<size_t>(info.covLen[m]) * n);
+  }
+  std::vector<AccmosDiagRec> diags(diagStride * n);
+  std::vector<AccmosCustomRec> customs(static_cast<size_t>(info.numCustom) *
+                                       n);
+  std::vector<uint64_t> collectCounts(static_cast<size_t>(info.numCollect) *
+                                      n);
+  std::vector<uint64_t> collectVals(
+      static_cast<size_t>(info.collectValsLen) * n);
+  std::vector<uint64_t> outVals(static_cast<size_t>(info.outValsLen) * n);
+  std::vector<AccmosRunResult> laneRes(n);
+
+  for (size_t l = 0; l < n; ++l) {
+    AccmosRunResult& r = laneRes[l];
+    std::memset(&r, 0, sizeof(r));
+    r.structSize = static_cast<uint32_t>(sizeof(AccmosRunResult));
+    r.abiVersion = lib_->abiVersion();
+    for (int m = 0; m < 4; ++m) {
+      const size_t len = static_cast<size_t>(info.covLen[m]);
+      r.cov[m] = len > 0 ? &cov[m][l * len] : nullptr;
+      r.covLen[m] = info.covLen[m];
+    }
+    r.diags = diagStride > 0 ? &diags[l * diagStride] : nullptr;
+    r.diagCap = diagStride;
+    r.customs =
+        info.numCustom > 0 ? &customs[l * info.numCustom] : nullptr;
+    r.customCap = info.numCustom;
+    r.collectCounts =
+        info.numCollect > 0 ? &collectCounts[l * info.numCollect] : nullptr;
+    r.numCollect = info.numCollect;
+    r.collectVals = info.collectValsLen > 0
+                        ? &collectVals[l * info.collectValsLen]
+                        : nullptr;
+    r.collectValsLen = info.collectValsLen;
+    r.outVals = info.outValsLen > 0 ? &outVals[l * info.outValsLen] : nullptr;
+    r.outValsLen = info.outValsLen;
+  }
+
+  AccmosBatchRunArgs args;
+  std::memset(&args, 0, sizeof(args));
+  args.structSize = static_cast<uint32_t>(sizeof(AccmosBatchRunArgs));
+  args.abiVersion = lib_->abiVersion();
+  args.numLanes = n;
+  args.maxSteps = steps;
+  args.timeBudgetSec = budget;
+  args.seeds = seeds;
+
+  AccmosBatchRunResult bres;
+  std::memset(&bres, 0, sizeof(bres));
+  bres.structSize = static_cast<uint32_t>(sizeof(AccmosBatchRunResult));
+  bres.abiVersion = lib_->abiVersion();
+  bres.numLanes = n;
+  bres.lanes = laneRes.data();
+
+  int rc = lib_->runBatch(args, bres);
+  if (rc != ACCMOS_ABI_OK) {
+    // Geometry was cross-checked at load, so this is unexpected — but the
+    // contract is "batch never changes observations", so degrade to the
+    // scalar path for this chunk instead of failing the campaign.
+    for (size_t l = 0; l < n; ++l) {
+      out.push_back(run(steps, budget, seeds[l]));
+    }
+    return;
+  }
+  for (size_t l = 0; l < n; ++l) {
+    SimulationResult r = decodeBinaryResults(
+        laneRes[l], fm_, opt_.coverage ? &covPlan_ : nullptr,
+        opt_.diagnosis ? &diagPlan_ : nullptr, collectSignals_,
+        opt_.customDiagnostics);
+    r.execMode = kExecModeDlopenBatch;
+    finishResult(r);
+    out.push_back(std::move(r));
+  }
+}
+
+std::vector<SimulationResult> AccMoSEngine::runBatch(
+    const std::vector<uint64_t>& seeds, uint64_t maxStepsOverride,
+    double timeBudgetOverride) {
+  uint64_t steps = maxStepsOverride != 0 ? maxStepsOverride : opt_.maxSteps;
+  double budget =
+      timeBudgetOverride >= 0.0 ? timeBudgetOverride : opt_.timeBudgetSec;
+  std::vector<SimulationResult> out;
+  out.reserve(seeds.size());
+  const uint64_t lanes = batchLanes();
+  if (lanes == 0) {
+    // Scalar fallback: no library (subprocess backend), a batchless or v1
+    // library, batching disabled, or the ACCMOS_BATCH_FAIL hook. Each
+    // result's execMode reports what actually ran.
+    for (uint64_t seed : seeds) {
+      out.push_back(run(steps, budget, seed));
+    }
+    return out;
+  }
+  for (size_t base = 0; base < seeds.size();
+       base += static_cast<size_t>(lanes)) {
+    const size_t n =
+        std::min<size_t>(static_cast<size_t>(lanes), seeds.size() - base);
+    runBatchChunk(&seeds[base], n, steps, budget, out);
+  }
+  return out;
 }
 
 SimulationResult runAccMoS(const FlatModel& fm, const SimOptions& opt,

@@ -47,6 +47,27 @@ class AccMoSEngine {
                        double timeBudgetOverride = -1.0,
                        std::optional<uint64_t> seedOverride = std::nullopt);
 
+  // Executes one simulation per seed, fusing them through the library's
+  // accmos_run_batch kernel in chunks of up to batchLanes() lanes.
+  // Results are returned in seed order and are bit-identical to calling
+  // run() once per seed — the batch kernel is a throughput optimization,
+  // never an observable one (the differential suites enforce this).
+  // Falls back to per-seed scalar run() — and therefore reports "dlopen"
+  // or "process" in SimulationResult::execMode instead of "dlopen-batch" —
+  // when the engine has no loaded library, the library has no batch
+  // capability (v1 artifact, missing symbol, compiled batchless), batching
+  // is disabled (SimOptions::batchLanes == 0), or the ACCMOS_BATCH_FAIL
+  // test hook is set. Thread-safe like run().
+  std::vector<SimulationResult> runBatch(
+      const std::vector<uint64_t>& seeds, uint64_t maxStepsOverride = 0,
+      double timeBudgetOverride = -1.0);
+
+  // Lanes a runBatch() call will actually fuse per kernel invocation:
+  // the loaded library's capability, or 0 when runBatch() would take the
+  // scalar fallback (evaluated per call — the ACCMOS_BATCH_FAIL hook is
+  // read here, not at construction).
+  uint64_t batchLanes() const;
+
   const std::string& generatedSource() const { return source_; }
   double generateSeconds() const { return generateSeconds_; }
   double compileSeconds() const { return compileSeconds_; }
@@ -67,6 +88,12 @@ class AccMoSEngine {
   SimulationResult runInProcess(uint64_t steps, double budget, uint64_t seed);
   SimulationResult runSubprocess(uint64_t steps, double budget,
                                  uint64_t seed);
+  // One fused kernel call over n <= batchLanes() consecutive seeds,
+  // appending n finished results to `out`.
+  void runBatchChunk(const uint64_t* seeds, size_t n, uint64_t steps,
+                     double budget, std::vector<SimulationResult>& out);
+  // Common result tail: coverage report + generate/compile/load timings.
+  void finishResult(SimulationResult& r) const;
 
   const FlatModel& fm_;
   SimOptions opt_;

@@ -178,12 +178,17 @@ std::string CompilerDriver::cacheDir() {
 
 uint64_t CompilerDriver::cacheKey(const std::string& source,
                                   const std::string& optFlag,
-                                  ArtifactKind kind) {
+                                  ArtifactKind kind,
+                                  const std::string& extraFlags) {
   uint64_t h = fnv1a64(compilerPath());
   h = fnv1a64(std::string(" -std=c++17 "), h);
   h = fnv1a64(optFlag, h);
   if (kind == ArtifactKind::SharedLib) {
     h = fnv1a64(std::string(kSharedLibFlags), h);
+  }
+  if (!extraFlags.empty()) {
+    h = fnv1a64(std::string("\x1f"), h);  // separator: flag fields
+    h = fnv1a64(extraFlags, h);
   }
   h = fnv1a64(std::string("\x1f"), h);  // separator: flags vs source
   return fnv1a64(source, h);
@@ -192,7 +197,8 @@ uint64_t CompilerDriver::cacheKey(const std::string& source,
 CompileOutput CompilerDriver::compile(const std::string& source,
                                       const std::string& name,
                                       const std::string& optFlag,
-                                      ArtifactKind kind) {
+                                      ArtifactKind kind,
+                                      const std::string& extraFlags) {
   const bool shared = kind == ArtifactKind::SharedLib;
   CompileOutput out;
   fs::path src = fs::path(dir_) / (name + ".cpp");
@@ -208,7 +214,7 @@ CompileOutput CompilerDriver::compile(const std::string& source,
   bool useCache = cacheEnabled_ && !cacheDisabledByEnv();
   uint64_t key = 0;
   if (useCache) {
-    key = cacheKey(source, optFlag, kind);
+    key = cacheKey(source, optFlag, kind, extraFlags);
     auto t0 = std::chrono::steady_clock::now();
     CacheEntry e = cachePaths(key);
     if (verifyEntry(e)) {
@@ -233,6 +239,7 @@ CompileOutput CompilerDriver::compile(const std::string& source,
   std::ostringstream cmd;
   cmd << compilerPath() << " -std=c++17 " << optFlag;
   if (shared) cmd << " " << kSharedLibFlags;
+  if (!extraFlags.empty()) cmd << " " << extraFlags;
   cmd << " -o " << shellQuote(exe.string()) << " " << shellQuote(src.string())
       << " > " << shellQuote(log.string()) << " 2>&1";
   auto t0 = std::chrono::steady_clock::now();

@@ -1,6 +1,7 @@
 #include "codegen/emitter.h"
 
 #include <cctype>
+#include <cstdlib>
 
 #include "actors/common.h"
 #include "codegen/runtime_preamble.h"
@@ -156,67 +157,88 @@ void Emitter::emitConstTables(std::ostringstream& os) {
   if (any) os << "\n";
 }
 
-void Emitter::emitDeclarations(std::ostringstream& os) {
-  os << "  // ---- model data --------------------------------------------\n";
+std::vector<Emitter::StateMember> Emitter::stateMembers() const {
+  std::vector<StateMember> mem;
+  // Diagnostic aggregation tables (first/count per actor x kind).
+  const std::string diagDim = "[" + std::to_string(fm_.actors.size()) +
+                              " * " + std::to_string(kNumDiagKinds) + "]";
+  mem.push_back({"uint64_t", "accmos_diag_first", diagDim, ""});
+  mem.push_back({"uint64_t", "accmos_diag_count", diagDim, ""});
+  // Signals.
   for (const auto& sig : fm_.signals) {
-    os << "  " << cpp(sig.type) << " s" << (&sig - fm_.signals.data())
-       << "[" << sig.width << "];  // " << sig.name << "\n";
+    mem.push_back({cpp(sig.type),
+                   "s" + std::to_string(&sig - fm_.signals.data()),
+                   "[" + std::to_string(sig.width) + "]", sig.name});
   }
+  // Actor states.
   const Registry& reg = Registry::instance();
   for (const auto& fa : fm_.actors) {
     auto st = reg.get(fa).state(fm_, fa);
     if (st) {
-      os << "  " << cpp(st->type) << " st" << fa.id << "[" << st->width
-         << "];  // state of " << fa.path << "\n";
+      mem.push_back({cpp(st->type), "st" + std::to_string(fa.id),
+                     "[" + std::to_string(st->width) + "]",
+                     "state of " + fa.path});
     }
   }
+  // Data stores.
   for (size_t d = 0; d < fm_.dataStores.size(); ++d) {
     const auto& ds = fm_.dataStores[d];
-    os << "  " << cpp(ds.type) << " "
-       << dataStoreSymbol(static_cast<int>(d), ds.name) << "[" << ds.width
-       << "];  // data store '" << ds.name << "'\n";
+    mem.push_back({cpp(ds.type), dataStoreSymbol(static_cast<int>(d), ds.name),
+                   "[" + std::to_string(ds.width) + "]",
+                   "data store '" + ds.name + "'"});
   }
   // Random test-case stream states (sequence-driven ports read the shared
   // const tables instead).
   for (size_t k = 0; k < fm_.rootInports.size(); ++k) {
     if (tests_.port(static_cast<int>(k)).sequence.empty()) {
-      os << "  uint64_t tc_state_" << k << ";\n";
+      mem.push_back({"uint64_t", "tc_state_" + std::to_string(k), "", ""});
     }
   }
   // Coverage bitmaps.
   if (covPlan_ != nullptr) {
-    os << "  uint8_t accmos_cov_actor["
-       << std::max(1, covPlan_->totalSlots(CovMetric::Actor)) << "];\n";
-    os << "  uint8_t accmos_cov_cond["
-       << std::max(1, covPlan_->totalSlots(CovMetric::Condition)) << "];\n";
-    os << "  uint8_t accmos_cov_dec["
-       << std::max(1, covPlan_->totalSlots(CovMetric::Decision)) << "];\n";
-    os << "  uint8_t accmos_cov_mcdc["
-       << std::max(1, covPlan_->totalSlots(CovMetric::MCDC)) << "];\n";
+    const std::pair<const char*, CovMetric> maps[] = {
+        {"accmos_cov_actor", CovMetric::Actor},
+        {"accmos_cov_cond", CovMetric::Condition},
+        {"accmos_cov_dec", CovMetric::Decision},
+        {"accmos_cov_mcdc", CovMetric::MCDC}};
+    for (const auto& [name, metric] : maps) {
+      mem.push_back(
+          {"uint8_t", name,
+           "[" + std::to_string(std::max(1, covPlan_->totalSlots(metric))) +
+               "]",
+           ""});
+    }
   }
   // Signal monitor buffers (paper Fig. 3 outputCollect repository).
   for (size_t k = 0; k < collectSignals_.size(); ++k) {
-    const SignalInfo& sig =
-        fm_.signal(collectSignals_[k]);
-    os << "  " << cpp(sig.type) << " col" << k << "[" << sig.width
-       << "]; uint64_t colcnt" << k << ";\n";
+    const SignalInfo& sig = fm_.signal(collectSignals_[k]);
+    mem.push_back({cpp(sig.type), "col" + std::to_string(k),
+                   "[" + std::to_string(sig.width) + "]", ""});
+    mem.push_back({"uint64_t", "colcnt" + std::to_string(k), "", ""});
   }
   // Custom diagnosis slots.
   for (size_t k = 0; k < opt_.customDiagnostics.size(); ++k) {
-    os << "  double cd_prev_" << k << "; int cd_has_" << k
-       << "; uint64_t cd_first_" << k << "; uint64_t cd_count_" << k
-       << ";\n";
+    mem.push_back({"double", "cd_prev_" + std::to_string(k), "", ""});
+    mem.push_back({"int", "cd_has_" + std::to_string(k), "", ""});
+    mem.push_back({"uint64_t", "cd_first_" + std::to_string(k), "", ""});
+    mem.push_back({"uint64_t", "cd_count_" + std::to_string(k), "", ""});
   }
-  os << "  int accmos_stop;\n";
-  os << "  int accmos_diag_fired;\n";
+  mem.push_back({"int", "accmos_stop", "", ""});
+  mem.push_back({"int", "accmos_diag_fired", "", ""});
+  return mem;
+}
+
+void Emitter::emitDeclarations(std::ostringstream& os) {
+  os << "  // ---- model data --------------------------------------------\n";
+  for (const auto& mem : stateMembers()) {
+    os << "  " << mem.type << " " << mem.name << mem.dims << ";";
+    if (!mem.comment.empty()) os << "  // " << mem.comment;
+    os << "\n";
+  }
   os << "\n";
 }
 
-void Emitter::emitDiagRuntime(std::ostringstream& os) {
-  os << "  uint64_t accmos_diag_first[" << fm_.actors.size() << " * "
-     << kNumDiagKinds << "];\n";
-  os << "  uint64_t accmos_diag_count[" << fm_.actors.size() << " * "
-     << kNumDiagKinds << "];\n";
+void Emitter::emitDiagFn(std::ostringstream& os) {
   os << "  void accmos_diag(int actor, int kind, uint64_t step) {\n"
      << "    int idx = actor * " << kNumDiagKinds << " + kind;\n"
      << "    if (accmos_diag_count[idx] == 0) accmos_diag_first[idx] = "
@@ -373,25 +395,126 @@ void Emitter::emitSimLoop(std::ostringstream& os) {
      << "  }\n";
 }
 
-void Emitter::emitAbi(std::ostringstream& os) {
-  const int covLen[4] = {
-      covPlan_ != nullptr ? covPlan_->totalSlots(CovMetric::Actor) : 0,
-      covPlan_ != nullptr ? covPlan_->totalSlots(CovMetric::Condition) : 0,
-      covPlan_ != nullptr ? covPlan_->totalSlots(CovMetric::Decision) : 0,
-      covPlan_ != nullptr ? covPlan_->totalSlots(CovMetric::MCDC) : 0};
-  const char* covArr[4] = {"accmos_cov_actor", "accmos_cov_cond",
-                           "accmos_cov_dec", "accmos_cov_mcdc"};
-  size_t collectValsLen = 0;
+Emitter::AbiGeom Emitter::abiGeom() const {
+  AbiGeom g;
+  g.covLen[0] = covPlan_ != nullptr ? covPlan_->totalSlots(CovMetric::Actor) : 0;
+  g.covLen[1] =
+      covPlan_ != nullptr ? covPlan_->totalSlots(CovMetric::Condition) : 0;
+  g.covLen[2] =
+      covPlan_ != nullptr ? covPlan_->totalSlots(CovMetric::Decision) : 0;
+  g.covLen[3] = covPlan_ != nullptr ? covPlan_->totalSlots(CovMetric::MCDC) : 0;
+  g.covArr[0] = "accmos_cov_actor";
+  g.covArr[1] = "accmos_cov_cond";
+  g.covArr[2] = "accmos_cov_dec";
+  g.covArr[3] = "accmos_cov_mcdc";
+  g.collectValsLen = 0;
   for (int sid : collectSignals_) {
-    collectValsLen += static_cast<size_t>(fm_.signal(sid).width);
+    g.collectValsLen += static_cast<size_t>(fm_.signal(sid).width);
   }
-  size_t outValsLen = 0;
+  g.outValsLen = 0;
   for (int oid : fm_.rootOutports) {
-    outValsLen +=
+    g.outValsLen +=
         static_cast<size_t>(fm_.signal(fm_.actor(oid).inputs[0]).width);
   }
-  const size_t numActors = fm_.actors.size();
-  const size_t numCustom = opt_.customDiagnostics.size();
+  g.numActors = fm_.actors.size();
+  g.numCustom = opt_.customDiagnostics.size();
+  return g;
+}
+
+void Emitter::emitResultChecks(std::ostringstream& os, const std::string& ref,
+                               const std::string& ind) {
+  const AbiGeom g = abiGeom();
+  for (int m = 0; m < 4; ++m) {
+    os << ind << "if (" << ref << "covLen[" << m << "] != " << g.covLen[m]
+       << "ULL";
+    if (g.covLen[m] > 0) os << " || " << ref << "cov[" << m << "] == 0";
+    os << ") return ACCMOS_ABI_EBUFFER;\n";
+  }
+  if (diagPlan_ != nullptr) {
+    os << ind << "if (" << ref << "diagCap < " << g.numActors * kNumDiagKinds
+       << "ULL || " << ref << "diags == 0) return ACCMOS_ABI_EBUFFER;\n";
+  }
+  if (g.numCustom > 0) {
+    os << ind << "if (" << ref << "customCap < " << g.numCustom << "ULL || "
+       << ref << "customs == 0) return ACCMOS_ABI_EBUFFER;\n";
+  }
+  os << ind << "if (" << ref << "numCollect != " << collectSignals_.size()
+     << "ULL || " << ref << "collectValsLen != " << g.collectValsLen
+     << "ULL || " << ref << "outValsLen != " << g.outValsLen
+     << "ULL) return ACCMOS_ABI_EBUFFER;\n";
+  if (!collectSignals_.empty()) {
+    os << ind << "if (" << ref << "collectCounts == 0 || " << ref
+       << "collectVals == 0) return ACCMOS_ABI_EBUFFER;\n";
+  }
+  if (g.outValsLen > 0) {
+    os << ind << "if (" << ref << "outVals == 0) return ACCMOS_ABI_EBUFFER;\n";
+  }
+}
+
+void Emitter::emitResultExtract(
+    std::ostringstream& os, const std::string& ref,
+    const std::function<std::string(const std::string&)>& acc,
+    const std::string& ind) {
+  const AbiGeom g = abiGeom();
+  for (int m = 0; m < 4; ++m) {
+    if (g.covLen[m] > 0) {
+      os << ind << "memcpy(" << ref << "cov[" << m << "], " << acc(g.covArr[m])
+         << ", " << g.covLen[m] << ");\n";
+    }
+  }
+  if (diagPlan_ != nullptr) {
+    os << ind << "{ uint64_t nd = 0;\n"
+       << ind << "  for (int a = 0; a < " << g.numActors << "; ++a)\n"
+       << ind << "    for (int k = 0; k < " << kNumDiagKinds << "; ++k) {\n"
+       << ind << "      uint64_t c = " << acc("accmos_diag_count") << "[a * "
+       << kNumDiagKinds << " + k];\n"
+       << ind << "      if (c) { " << ref << "diags[nd].actorId = a; " << ref
+       << "diags[nd].kind = k;\n"
+       << ind << "        " << ref << "diags[nd].firstStep = "
+       << acc("accmos_diag_first") << "[a * " << kNumDiagKinds << " + k];\n"
+       << ind << "        " << ref << "diags[nd].count = c; ++nd; }\n"
+       << ind << "    }\n"
+       << ind << "  " << ref << "diagCount = nd; }\n";
+  } else {
+    os << ind << ref << "diagCount = 0;\n";
+  }
+  if (g.numCustom > 0) {
+    os << ind << "{ uint64_t nc = 0;\n";
+    for (size_t k = 0; k < g.numCustom; ++k) {
+      std::string cnt = acc("cd_count_" + std::to_string(k));
+      os << ind << "  if (" << cnt << ") { " << ref << "customs[nc].index = "
+         << k << "ULL; " << ref << "customs[nc].firstStep = "
+         << acc("cd_first_" + std::to_string(k)) << "; " << ref
+         << "customs[nc].count = " << cnt << "; ++nc; }\n";
+    }
+    os << ind << "  " << ref << "customCount = nc; }\n";
+  } else {
+    os << ind << ref << "customCount = 0;\n";
+  }
+  size_t off = 0;
+  for (size_t k = 0; k < collectSignals_.size(); ++k) {
+    const SignalInfo& sig = fm_.signal(collectSignals_[k]);
+    os << ind << ref << "collectCounts[" << k << "] = "
+       << acc("colcnt" + std::to_string(k)) << ";\n"
+       << ind << "for (int i = 0; i < " << sig.width << "; ++i) " << ref
+       << "collectVals[" << off << " + i] = "
+       << packExpr(sig.type, acc("col" + std::to_string(k)) + "[i]") << ";\n";
+    off += static_cast<size_t>(sig.width);
+  }
+  off = 0;
+  for (size_t k = 0; k < fm_.rootOutports.size(); ++k) {
+    const FlatActor& fa = fm_.actor(fm_.rootOutports[k]);
+    const SignalInfo& sig = fm_.signal(fa.inputs[0]);
+    os << ind << "for (int i = 0; i < " << sig.width << "; ++i) " << ref
+       << "outVals[" << off << " + i] = "
+       << packExpr(sig.type, acc("s" + std::to_string(fa.inputs[0])) + "[i]")
+       << ";\n";
+    off += static_cast<size_t>(sig.width);
+  }
+}
+
+void Emitter::emitAbi(std::ostringstream& os) {
+  const AbiGeom g = abiGeom();
 
   os << "// ---- in-process execution ABI (see run_abi.h) -----------------\n"
      << "extern \"C\" int accmos_model_info(AccmosModelInfo* info) {\n"
@@ -399,14 +522,21 @@ void Emitter::emitAbi(std::ostringstream& os) {
         "(uint32_t)sizeof(AccmosModelInfo)) return ACCMOS_ABI_EARG;\n"
      << "  info->abiVersion = ACCMOS_ABI_VERSION;\n";
   for (int m = 0; m < 4; ++m) {
-    os << "  info->covLen[" << m << "] = " << covLen[m] << "ULL;\n";
+    os << "  info->covLen[" << m << "] = " << g.covLen[m] << "ULL;\n";
   }
-  os << "  info->numActors = " << numActors << "ULL;\n"
+  os << "  info->numActors = " << g.numActors << "ULL;\n"
      << "  info->numDiagKinds = " << kNumDiagKinds << "ULL;\n"
-     << "  info->numCustom = " << numCustom << "ULL;\n"
+     << "  info->numCustom = " << g.numCustom << "ULL;\n"
      << "  info->numCollect = " << collectSignals_.size() << "ULL;\n"
-     << "  info->collectValsLen = " << collectValsLen << "ULL;\n"
-     << "  info->outValsLen = " << outValsLen << "ULL;\n"
+     << "  info->collectValsLen = " << g.collectValsLen << "ULL;\n"
+     << "  info->outValsLen = " << g.outValsLen << "ULL;\n"
+     << "#if ACCMOS_ABI_VERSION >= 2u\n"
+     << "#ifdef ACCMOS_BATCH_LANES\n"
+     << "  info->batchLanes = (uint64_t)(ACCMOS_BATCH_LANES);\n"
+     << "#else\n"
+     << "  info->batchLanes = 0ULL;\n"
+     << "#endif\n"
+     << "#endif\n"
      << "  return ACCMOS_ABI_OK;\n"
      << "}\n\n";
 
@@ -419,30 +549,7 @@ void Emitter::emitAbi(std::ostringstream& os) {
      << "  if (args->abiVersion != ACCMOS_ABI_VERSION ||\n"
      << "      res->abiVersion != ACCMOS_ABI_VERSION) "
         "return ACCMOS_ABI_EVERSION;\n";
-  for (int m = 0; m < 4; ++m) {
-    os << "  if (res->covLen[" << m << "] != " << covLen[m] << "ULL";
-    if (covLen[m] > 0) os << " || res->cov[" << m << "] == 0";
-    os << ") return ACCMOS_ABI_EBUFFER;\n";
-  }
-  if (diagPlan_ != nullptr) {
-    os << "  if (res->diagCap < " << numActors * kNumDiagKinds
-       << "ULL || res->diags == 0) return ACCMOS_ABI_EBUFFER;\n";
-  }
-  if (numCustom > 0) {
-    os << "  if (res->customCap < " << numCustom
-       << "ULL || res->customs == 0) return ACCMOS_ABI_EBUFFER;\n";
-  }
-  os << "  if (res->numCollect != " << collectSignals_.size()
-     << "ULL || res->collectValsLen != " << collectValsLen
-     << "ULL || res->outValsLen != " << outValsLen
-     << "ULL) return ACCMOS_ABI_EBUFFER;\n";
-  if (!collectSignals_.empty()) {
-    os << "  if (res->collectCounts == 0 || res->collectVals == 0) "
-          "return ACCMOS_ABI_EBUFFER;\n";
-  }
-  if (outValsLen > 0) {
-    os << "  if (res->outVals == 0) return ACCMOS_ABI_EBUFFER;\n";
-  }
+  emitResultChecks(os, "res->", "  ");
   os << "  accmos_model* M = new (std::nothrow) accmos_model();\n"
      << "  if (!M) return ACCMOS_ABI_EALLOC;\n"
      << "  int stopped = 0;\n"
@@ -453,61 +560,140 @@ void Emitter::emitAbi(std::ostringstream& os) {
         "&ns);\n"
      << "  res->stoppedEarly = (uint32_t)stopped;\n"
      << "  res->execNs = ns;\n";
-  for (int m = 0; m < 4; ++m) {
-    if (covLen[m] > 0) {
-      os << "  memcpy(res->cov[" << m << "], M->" << covArr[m] << ", "
-         << covLen[m] << ");\n";
-    }
-  }
-  if (diagPlan_ != nullptr) {
-    os << "  uint64_t nd = 0;\n"
-       << "  for (int a = 0; a < " << numActors << "; ++a)\n"
-       << "    for (int k = 0; k < " << kNumDiagKinds << "; ++k) {\n"
-       << "      uint64_t c = M->accmos_diag_count[a * " << kNumDiagKinds
-       << " + k];\n"
-       << "      if (c) { res->diags[nd].actorId = a; "
-          "res->diags[nd].kind = k;\n"
-       << "        res->diags[nd].firstStep = M->accmos_diag_first[a * "
-       << kNumDiagKinds << " + k];\n"
-       << "        res->diags[nd].count = c; ++nd; }\n"
-       << "    }\n"
-       << "  res->diagCount = nd;\n";
-  } else {
-    os << "  res->diagCount = 0;\n";
-  }
-  if (numCustom > 0) {
-    os << "  uint64_t nc = 0;\n";
-    for (size_t k = 0; k < numCustom; ++k) {
-      os << "  if (M->cd_count_" << k << ") { res->customs[nc].index = " << k
-         << "ULL; res->customs[nc].firstStep = M->cd_first_" << k
-         << "; res->customs[nc].count = M->cd_count_" << k << "; ++nc; }\n";
-    }
-    os << "  res->customCount = nc;\n";
-  } else {
-    os << "  res->customCount = 0;\n";
-  }
-  size_t off = 0;
-  for (size_t k = 0; k < collectSignals_.size(); ++k) {
-    const SignalInfo& sig = fm_.signal(collectSignals_[k]);
-    os << "  res->collectCounts[" << k << "] = M->colcnt" << k << ";\n"
-       << "  for (int i = 0; i < " << sig.width << "; ++i) res->collectVals["
-       << off << " + i] = "
-       << packExpr(sig.type, "M->col" + std::to_string(k) + "[i]") << ";\n";
-    off += static_cast<size_t>(sig.width);
-  }
-  off = 0;
-  for (size_t k = 0; k < fm_.rootOutports.size(); ++k) {
-    const FlatActor& fa = fm_.actor(fm_.rootOutports[k]);
-    const SignalInfo& sig = fm_.signal(fa.inputs[0]);
-    os << "  for (int i = 0; i < " << sig.width << "; ++i) res->outVals["
-       << off << " + i] = "
-       << packExpr(sig.type, "M->s" + std::to_string(fa.inputs[0]) + "[i]")
-       << ";\n";
-    off += static_cast<size_t>(sig.width);
-  }
+  emitResultExtract(
+      os, "res->", [](const std::string& n) { return "M->" + n; }, "  ");
   os << "  delete M;\n"
      << "  return ACCMOS_ABI_OK;\n"
      << "}\n\n";
+}
+
+void Emitter::emitBatchSimLoop(std::ostringstream& os) {
+  os << "  // One fused batch simulation: every live lane advances one step\n"
+     << "  // per outer iteration, so the lane loop over independent SoA\n"
+     << "  // state is what the compiler auto-vectorizes. A lane that stops\n"
+     << "  // early is retired from the loop without touching any other\n"
+     << "  // lane's state; per-lane step counts and early-stop flags land\n"
+     << "  // in bl_steps_/bl_stopped_. The time budget (rarely used here)\n"
+     << "  // applies to the whole batch.\n"
+     << "  void accmos_batch_sim(uint64_t numLanes, const uint64_t* seeds,\n"
+     << "                        uint64_t maxSteps, double budget,\n"
+     << "                        unsigned long long* execNs) {\n"
+     << "    for (uint64_t l = 0; l < numLanes; ++l) {\n"
+     << "      accmos_cur_lane_ = (int)l;\n"
+     << "      Model_Init(seeds[l]);\n"
+     << "    }\n"
+     << "    auto t0 = std::chrono::steady_clock::now();\n"
+     << "    uint64_t active = numLanes;\n"
+     << "    for (uint64_t step = 0; step < maxSteps && active > 0; "
+        "++step) {\n"
+     << "      for (uint64_t l = 0; l < numLanes; ++l) {\n"
+     << "        if (bl_done_[l]) continue;\n"
+     << "        accmos_cur_lane_ = (int)l;\n"
+     << "        accmos_fill_inputs(step);\n"
+     << "        Model_Exe(step);\n"
+     << "        bl_steps_[l] = step + 1;\n"
+     << "        if (accmos_stop) { bl_done_[l] = 1; bl_stopped_[l] = 1; "
+        "--active; continue; }\n";
+  if (opt_.stopOnDiagnostic) {
+    os << "        if (accmos_diag_fired) { bl_done_[l] = 1; bl_stopped_[l] "
+          "= 1; --active; }\n";
+  }
+  os << "      }\n"
+     << "      if (budget > 0.0 && (step & 1023) == 1023 &&\n"
+     << "          std::chrono::duration<double>(std::chrono::steady_clock"
+        "::now() - t0).count() >= budget) break;\n"
+     << "    }\n"
+     << "    auto t1 = std::chrono::steady_clock::now();\n"
+     << "    *execNs = (unsigned long long)\n"
+     << "        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - "
+        "t0).count();\n"
+     << "  }\n";
+}
+
+void Emitter::emitBatchAbi(std::ostringstream& os) {
+  os << "extern \"C\" int accmos_run_batch(const AccmosBatchRunArgs* args, "
+        "AccmosBatchRunResult* res) {\n"
+     << "  if (!args || !res ||\n"
+     << "      args->structSize != (uint32_t)sizeof(AccmosBatchRunArgs) ||\n"
+     << "      res->structSize != (uint32_t)sizeof(AccmosBatchRunResult)) "
+        "return ACCMOS_ABI_EARG;\n"
+     << "  if (args->abiVersion != ACCMOS_ABI_VERSION ||\n"
+     << "      res->abiVersion != ACCMOS_ABI_VERSION) "
+        "return ACCMOS_ABI_EVERSION;\n"
+     << "  if (args->numLanes == 0 ||\n"
+     << "      args->numLanes > (uint64_t)(ACCMOS_BATCH_LANES) ||\n"
+     << "      args->seeds == 0 || res->numLanes != args->numLanes ||\n"
+     << "      res->lanes == 0) return ACCMOS_ABI_EBATCH;\n"
+     << "  for (uint64_t l = 0; l < args->numLanes; ++l) {\n"
+     << "    AccmosRunResult* L = &res->lanes[l];\n"
+     << "    if (L->structSize != (uint32_t)sizeof(AccmosRunResult)) "
+        "return ACCMOS_ABI_EARG;\n"
+     << "    if (L->abiVersion != ACCMOS_ABI_VERSION) "
+        "return ACCMOS_ABI_EVERSION;\n";
+  emitResultChecks(os, "L->", "    ");
+  os << "  }\n"
+     << "  accmos_batch* B = new (std::nothrow) accmos_batch();\n"
+     << "  if (!B) return ACCMOS_ABI_EALLOC;\n"
+     << "  unsigned long long ns = 0;\n"
+     << "  B->accmos_batch_sim(args->numLanes, args->seeds, args->maxSteps,\n"
+     << "                      args->timeBudgetSec, &ns);\n"
+     << "  for (uint64_t l = 0; l < args->numLanes; ++l) {\n"
+     << "    AccmosRunResult* L = &res->lanes[l];\n"
+     << "    L->stepsExecuted = B->bl_steps_[l];\n"
+     << "    L->stoppedEarly = B->bl_stopped_[l];\n"
+     << "    // Lanes run fused, so per-lane wall time is not separable:\n"
+     << "    // every lane reports the whole batch's loop time.\n"
+     << "    L->execNs = ns;\n";
+  emitResultExtract(
+      os, "L->",
+      [](const std::string& n) { return "B->bl_" + n + "[l]"; }, "    ");
+  os << "  }\n"
+     << "  delete B;\n"
+     << "  return ACCMOS_ABI_OK;\n"
+     << "}\n";
+}
+
+void Emitter::emitBatch(std::ostringstream& os) {
+  const auto members = stateMembers();
+  os << "// ---- batched execution (ABI v2) -------------------------------\n"
+     << "// Compiled in only under -DACCMOS_BATCH_LANES=N: the scalar model\n"
+     << "// state is re-laid-out as structure-of-arrays with lane = seed,\n"
+     << "// and the SAME model-function texts are compiled against it via\n"
+     << "// lane-redirection macros (every unqualified state reference\n"
+     << "// becomes bl_<name>[accmos_cur_lane_]). Each lane therefore\n"
+     << "// executes arithmetic textually identical to the scalar path —\n"
+     << "// that is the bit-identity argument the differential tests pin\n"
+     << "// down. Instrumentation state (coverage bitmaps, diagnosis\n"
+     << "// tables, monitors) is per-lane like everything else.\n"
+     << "#if defined(ACCMOS_BATCH_LANES) && ACCMOS_ABI_VERSION >= 2u\n";
+  for (const auto& mem : members) {
+    os << "#define " << mem.name << " (bl_" << mem.name
+       << "[accmos_cur_lane_])\n";
+  }
+  os << "namespace {\n"
+     << "struct accmos_batch {\n"
+     << "  int accmos_cur_lane_;\n"
+     << "  uint8_t bl_done_[ACCMOS_BATCH_LANES];\n"
+     << "  uint64_t bl_steps_[ACCMOS_BATCH_LANES];\n"
+     << "  uint32_t bl_stopped_[ACCMOS_BATCH_LANES];\n"
+     << "  // ---- model data, one slot per lane -------------------------\n";
+  for (const auto& mem : members) {
+    os << "  " << mem.type << " bl_" << mem.name << "[ACCMOS_BATCH_LANES]"
+       << mem.dims << ";\n";
+  }
+  os << "\n";
+  emitDiagFn(os);
+  for (const auto& fn : diagFuncs_) os << fn << "\n";
+  emitFillInputs(os);
+  emitModelInit(os);
+  emitModelExe(os);
+  emitBatchSimLoop(os);
+  os << "};\n"
+     << "}  // namespace\n";
+  for (const auto& mem : members) os << "#undef " << mem.name << "\n";
+  os << "\n";
+  emitBatchAbi(os);
+  os << "#endif  // ACCMOS_BATCH_LANES && ACCMOS_ABI_VERSION >= 2\n\n";
 }
 
 void Emitter::emitMain(std::ostringstream& os) {
@@ -639,6 +825,14 @@ std::string Emitter::generate() {
   // zero-initialized state instance.
   std::ostringstream os;
   os << "// Generated by AccMoS for model '" << fm_.modelName << "'\n";
+  // Test hook: ACCMOS_EMIT_ABI_V1 produces a bona fide ABI-version-1
+  // library (88-byte info struct, no batch entry point) by flipping the
+  // version switch inside the embedded run_abi.h text — the fallback tests
+  // use it to prove a v2 host degrades cleanly on old artifacts.
+  const char* v1 = std::getenv("ACCMOS_EMIT_ABI_V1");
+  if (v1 != nullptr && v1[0] != '\0' && std::string(v1) != "0") {
+    os << "#define ACCMOS_RUN_ABI_FORCE_V1 1\n";
+  }
   os << runtimePreamble();
   os << runAbiText();
   emitConstTables(os);
@@ -649,8 +843,8 @@ std::string Emitter::generate() {
   // silently resolve them all to the first library's data.
   os << "namespace {\n"
      << "struct accmos_model {\n";
-  emitDiagRuntime(os);
   emitDeclarations(os);
+  emitDiagFn(os);
   for (const auto& fn : diagFuncs_) os << fn << "\n";
   emitFillInputs(os);
   emitModelInit(os);
@@ -659,6 +853,7 @@ std::string Emitter::generate() {
   os << "};\n"
      << "}  // namespace\n\n";
   emitAbi(os);
+  emitBatch(os);
   emitMain(os);
   return os.str();
 }

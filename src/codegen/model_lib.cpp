@@ -3,10 +3,16 @@
 #include <dlfcn.h>
 
 #include <chrono>
+#include <cstddef>
 #include <cstdlib>
 #include <cstring>
 
 namespace accmos {
+
+// The v1 negotiation depends on batchLanes being the first byte past the
+// 88-byte v1 layout; this pins the constant to the real struct.
+static_assert(offsetof(AccmosModelInfo, batchLanes) == ACCMOS_ABI_INFO_SIZE_V1,
+              "ACCMOS_ABI_INFO_SIZE_V1 must equal the v1 AccmosModelInfo size");
 
 namespace {
 
@@ -43,17 +49,39 @@ ModelLib::ModelLib(const std::string& path) : path_(path) {
     throw CompileError("generated model library " + path +
                        " is missing an ABI entry point: " + err);
   }
+  // Version negotiation: query with the host's struct size first. A v1
+  // library checks structSize against its own 88-byte AccmosModelInfo and
+  // rejects the larger v2 size with EARG — retry with the v1 size, which
+  // fills only the first 88 bytes and leaves batchLanes at the zero we
+  // memset (the correct "no batch" capability answer).
   std::memset(&info_, 0, sizeof(info_));
   info_.structSize = static_cast<uint32_t>(sizeof(AccmosModelInfo));
   int rc = infoFn(&info_);
-  if (rc != ACCMOS_ABI_OK || info_.abiVersion != ACCMOS_ABI_VERSION) {
+  if (rc == ACCMOS_ABI_EARG) {
+    static_assert(sizeof(AccmosModelInfo) > ACCMOS_ABI_INFO_SIZE_V1,
+                  "v2 info struct must extend the v1 layout");
+    std::memset(&info_, 0, sizeof(info_));
+    info_.structSize = ACCMOS_ABI_INFO_SIZE_V1;
+    rc = infoFn(&info_);
+    if (rc == ACCMOS_ABI_OK && info_.abiVersion != 1u) rc = ACCMOS_ABI_EVERSION;
+  }
+  if (rc != ACCMOS_ABI_OK ||
+      (info_.abiVersion != ACCMOS_ABI_VERSION && info_.abiVersion != 1u)) {
     uint32_t gotVersion = info_.abiVersion;
     ::dlclose(handle_);
     handle_ = nullptr;
     throw CompileError(
         "generated model library " + path + " reports incompatible ABI (rc=" +
         std::to_string(rc) + ", version=" + std::to_string(gotVersion) +
-        ", host expects " + std::to_string(ACCMOS_ABI_VERSION) + ")");
+        ", host expects " + std::to_string(ACCMOS_ABI_VERSION) + " or 1)");
+  }
+  // The batch entry point is optional: absent in v1 libraries and in v2
+  // libraries compiled without -DACCMOS_BATCH_LANES. A null here plus
+  // batchLanes == 0 in the info struct both independently report "no
+  // batch"; batchLanes() requires agreement of the two.
+  if (info_.abiVersion >= 2u) {
+    runBatch_ = reinterpret_cast<AccmosRunBatchFn>(
+        ::dlsym(handle_, ACCMOS_SYM_RUN_BATCH));
   }
   auto t1 = std::chrono::steady_clock::now();
   loadSeconds_ = std::chrono::duration<double>(t1 - t0).count();

@@ -20,9 +20,13 @@ namespace accmos {
 class ModelLib {
  public:
   // Loads the shared library at `path` and resolves + validates the ABI
-  // entry points. Throws CompileError (carrying the dlerror/description)
-  // when the library cannot be loaded, a symbol is missing, or the
-  // library's ABI version does not match the host's. The ACCMOS_DLOPEN_FAIL
+  // entry points. Version negotiation: the info query is issued with the
+  // host's (v2) struct size first; a library that rejects it with
+  // ACCMOS_ABI_EARG is retried with the 88-byte v1 size, and accepted when
+  // it reports abiVersion 1 — it simply has no batch capability. Throws
+  // CompileError (carrying the dlerror/description) when the library
+  // cannot be loaded, a mandatory symbol is missing, or the library's ABI
+  // version is neither the host's nor 1. The ACCMOS_DLOPEN_FAIL
   // environment variable (any non-empty value but "0") forces the
   // constructor to throw — a test hook for the subprocess fallback path.
   explicit ModelLib(const std::string& path);
@@ -34,10 +38,32 @@ class ModelLib {
   // Model geometry reported by the library (buffer sizes for run()).
   const AccmosModelInfo& info() const { return info_; }
 
+  // ABI version the library actually implements (1 or ACCMOS_ABI_VERSION).
+  // Callers must stamp this — not their own compile-time constant — into
+  // AccmosRunArgs/AccmosRunResult so a v1 library's version check passes.
+  uint32_t abiVersion() const { return info_.abiVersion; }
+
   // One simulation run; returns the ABI status code (ACCMOS_ABI_OK on
   // success). Thread-safe: see the reentrancy contract above.
   int run(const AccmosRunArgs& args, AccmosRunResult& res) const {
     return run_(&args, &res);
+  }
+
+  // Maximum lanes per accmos_run_batch call, or 0 when the library has no
+  // batch support (v1 library, missing symbol, or compiled without
+  // -DACCMOS_BATCH_LANES). The three "no" answers are deliberately
+  // indistinguishable: callers only ever need "can I batch, and how wide".
+  uint64_t batchLanes() const {
+    return (info_.abiVersion >= 2u && runBatch_ != nullptr) ? info_.batchLanes
+                                                            : 0;
+  }
+
+  // One fused batch run (batchLanes() must be > 0; numLanes within it).
+  // Thread-safe for the same reason run() is: the batch state instance is
+  // private to the call.
+  int runBatch(const AccmosBatchRunArgs& args,
+               AccmosBatchRunResult& res) const {
+    return runBatch_(&args, &res);
   }
 
   // Wall time spent in dlopen + symbol resolution + info query.
@@ -49,6 +75,7 @@ class ModelLib {
   std::string path_;
   void* handle_ = nullptr;
   AccmosRunFn run_ = nullptr;
+  AccmosRunBatchFn runBatch_ = nullptr;
   AccmosModelInfo info_{};
   double loadSeconds_ = 0.0;
 };

@@ -310,7 +310,10 @@ SimulationResult decodeBinaryResults(
   for (size_t k = 0; k < fm.rootOutports.size(); ++k) {
     const FlatActor& fa = fm.actor(fm.rootOutports[k]);
     const SignalInfo& sig = fm.signal(fa.inputs[0]);
-    result.finalOutputs[k] = Value(sig.type, sig.width);
+    // In-place retype instead of constructing a fresh Value: this decoder
+    // sits on the per-run hot path of batched campaigns, where an extra
+    // allocation per outport is measurable.
+    result.finalOutputs[k].resize(sig.type, sig.width);
     for (int i = 0; i < sig.width; ++i) {
       unpackInto(result.finalOutputs[k], i, sig.type,
                  res.outVals[off + static_cast<size_t>(i)]);

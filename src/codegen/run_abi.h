@@ -10,9 +10,12 @@
 // cached shared library.
 //
 // Contract (docs/EXECUTION.md has the narrative version):
-//  - The library exports two C symbols:
+//  - The library exports two mandatory C symbols:
 //      int accmos_model_info(AccmosModelInfo*);
 //      int accmos_run(const AccmosRunArgs*, AccmosRunResult*);
+//    and, when built with batch support (ABI v2, -DACCMOS_BATCH_LANES=N),
+//    a third optional one:
+//      int accmos_run_batch(const AccmosBatchRunArgs*, AccmosBatchRunResult*);
 //  - All result buffers are CALLER-owned; the library never allocates
 //    memory that outlives a call. The caller sizes them from
 //    accmos_model_info (worst case for the diagnostic tables).
@@ -31,7 +34,21 @@
 
 #include <stdint.h>
 
+/* Version 2 adds the batched entry point and the batchLanes capability
+ * field appended to AccmosModelInfo. ACCMOS_RUN_ABI_FORCE_V1 is a test
+ * hook: defining it before this header yields a genuine version-1 build
+ * (88-byte info struct, no batch declarations), which is how the fallback
+ * tests manufacture a real v1 library rather than simulating one. */
+#ifdef ACCMOS_RUN_ABI_FORCE_V1
 #define ACCMOS_ABI_VERSION 1u
+#else
+#define ACCMOS_ABI_VERSION 2u
+#endif
+
+/* sizeof(AccmosModelInfo) in a version-1 build: the negotiation handshake
+ * retries accmos_model_info with this size when the full-size query is
+ * rejected, so v2 hosts can still load v1 libraries. */
+#define ACCMOS_ABI_INFO_SIZE_V1 88u
 
 /* accmos_run / accmos_model_info return codes. */
 enum {
@@ -40,6 +57,7 @@ enum {
   ACCMOS_ABI_EVERSION = 2, /* abiVersion mismatch */
   ACCMOS_ABI_EBUFFER = 3,  /* a caller buffer is missing or mis-sized */
   ACCMOS_ABI_EALLOC = 4,   /* model-state allocation failed */
+  ACCMOS_ABI_EBATCH = 5,   /* bad batch geometry (lane count, lane array) */
 };
 
 /* Coverage bitmap order, everywhere a [4] appears below. Matches the host's
@@ -65,6 +83,14 @@ typedef struct AccmosModelInfo {
   uint64_t numCollect;     /* monitored signals, in emission order */
   uint64_t collectValsLen; /* sum of monitored-signal widths */
   uint64_t outValsLen;     /* sum of root-outport widths */
+#if ACCMOS_ABI_VERSION >= 2u
+  /* Batch capability: maximum lanes accmos_run_batch accepts per call, or
+   * 0 when the library was compiled without batch support. A v1 library
+   * writes only the first ACCMOS_ABI_INFO_SIZE_V1 bytes, so on the host
+   * side this field reads 0 for v1 libraries (the host zero-fills the
+   * struct before the query) — exactly the "no batch" answer wanted. */
+  uint64_t batchLanes;
+#endif
 } AccmosModelInfo;
 
 typedef struct AccmosRunArgs {
@@ -131,10 +157,42 @@ typedef struct AccmosRunResult {
   uint64_t outValsLen;
 } AccmosRunResult;
 
+#if ACCMOS_ABI_VERSION >= 2u
+/* Arguments for one fused batch call: numLanes independent runs that share
+ * a single structure-of-arrays state block and one fused step loop. Lane l
+ * simulates seeds[l]; everything else (step/budget limits) is shared. */
+typedef struct AccmosBatchRunArgs {
+  uint32_t structSize; /* sizeof(AccmosBatchRunArgs) */
+  uint32_t abiVersion; /* ACCMOS_ABI_VERSION the caller was built against */
+  uint64_t numLanes;   /* 1 .. AccmosModelInfo.batchLanes */
+  uint64_t maxSteps;
+  double timeBudgetSec;  /* <= 0 = unlimited; applies to the whole batch */
+  const uint64_t* seeds; /* numLanes entries */
+} AccmosBatchRunArgs;
+
+/* Batch results are an array of per-lane scalar result blocks: lane l's
+ * outputs land in lanes[l], which must be initialized exactly like a
+ * scalar AccmosRunResult (structSize, abiVersion, every caller-owned
+ * buffer). The host points the per-lane buffers into one strided arena so
+ * a whole chunk costs one allocation set, but the library only sees the
+ * per-lane views and never writes outside them. */
+typedef struct AccmosBatchRunResult {
+  uint32_t structSize; /* sizeof(AccmosBatchRunResult) */
+  uint32_t abiVersion; /* caller's ACCMOS_ABI_VERSION */
+  uint64_t numLanes;   /* must equal args->numLanes */
+  AccmosRunResult* lanes;
+} AccmosBatchRunResult;
+#endif /* ACCMOS_ABI_VERSION >= 2u */
+
 typedef int (*AccmosModelInfoFn)(AccmosModelInfo*);
 typedef int (*AccmosRunFn)(const AccmosRunArgs*, AccmosRunResult*);
+#if ACCMOS_ABI_VERSION >= 2u
+typedef int (*AccmosRunBatchFn)(const AccmosBatchRunArgs*,
+                                AccmosBatchRunResult*);
+#endif
 
 #define ACCMOS_SYM_MODEL_INFO "accmos_model_info"
 #define ACCMOS_SYM_RUN "accmos_run"
+#define ACCMOS_SYM_RUN_BATCH "accmos_run_batch"
 
 #endif /* ACCMOS_RUN_ABI_H_ */

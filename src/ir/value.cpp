@@ -11,7 +11,8 @@ namespace accmos {
 
 Value::Value(DataType type, int width) : type_(type) {
   if (width < 1) throw std::invalid_argument("Value width must be >= 1");
-  slots_.assign(static_cast<size_t>(width), 0);
+  width_ = width;
+  if (width > kInline) heap_.assign(static_cast<size_t>(width), 0);
 }
 
 Value Value::scalarF(DataType type, double v) {
@@ -34,7 +35,14 @@ Value Value::scalarBool(bool v) {
 
 void Value::resize(DataType type, int width) {
   type_ = type;
-  slots_.assign(static_cast<size_t>(width), 0);
+  width_ = width;
+  if (width > kInline) {
+    heap_.assign(static_cast<size_t>(width), 0);
+  } else {
+    heap_.clear();  // keeps capacity for a later spill
+    inline_[0] = 0;
+    inline_[1] = 0;
+  }
 }
 
 int64_t Value::i(int idx) const {
@@ -154,7 +162,13 @@ Value::StoreFlags Value::convertFrom(const Value& src) {
 }
 
 bool Value::operator==(const Value& other) const {
-  return type_ == other.type_ && slots_ == other.slots_;
+  if (type_ != other.type_ || width_ != other.width_) return false;
+  const uint64_t* a = data();
+  const uint64_t* b = other.data();
+  for (int k = 0; k < width_; ++k) {
+    if (a[k] != b[k]) return false;
+  }
+  return true;
 }
 
 std::string Value::toString() const {

@@ -24,7 +24,7 @@ class Value {
   static Value scalarBool(bool v);
 
   DataType type() const { return type_; }
-  int width() const { return static_cast<int>(slots_.size()); }
+  int width() const { return width_; }
   bool isFloat() const { return isFloatType(type_); }
 
   void resize(DataType type, int width);
@@ -63,11 +63,24 @@ class Value {
   std::string toString() const;
 
  private:
-  uint64_t raw(int idx) const { return slots_[static_cast<size_t>(idx)]; }
-  void setRaw(int idx, uint64_t v) { slots_[static_cast<size_t>(idx)] = v; }
+  // Small-buffer storage: widths up to kInline — the common case, scalar
+  // and narrow signals — live inline with no heap allocation. That matters
+  // because Values are constructed per signal per step in the interpreter
+  // and per outport per run in the batched result decoder. Wider values
+  // spill into heap_. The element pointer is computed from width_, never
+  // stored, so copy and move stay defaulted.
+  static constexpr int kInline = 2;
+  uint64_t* data() { return width_ <= kInline ? inline_ : heap_.data(); }
+  const uint64_t* data() const {
+    return width_ <= kInline ? inline_ : heap_.data();
+  }
+  uint64_t raw(int idx) const { return data()[idx]; }
+  void setRaw(int idx, uint64_t v) { data()[idx] = v; }
 
   DataType type_;
-  std::vector<uint64_t> slots_;
+  int width_ = 1;
+  uint64_t inline_[kInline] = {0, 0};
+  std::vector<uint64_t> heap_;
 };
 
 }  // namespace accmos

@@ -78,11 +78,20 @@ AccMoSEngine* SpecEvaluator::engineFor(const TestCaseSpec& spec) {
 // Runs every spec, storing the result at the spec's index. With more than
 // one worker, specs are pulled from a shared counter by a pool of threads:
 // the SSE engine gets one persistent interpreter instance per worker; the
-// AccMoS engine's run() is thread-safe in both exec modes, so workers call
-// the per-shape engines directly — concurrent accmos_run() calls into one
+// AccMoS engine's run()/runBatch() are thread-safe in both exec modes, so
+// workers call the per-shape engines directly — concurrent calls into one
 // loaded library (dlopen mode) or concurrent child processes each writing
 // to their own pipe (process mode). The first exception thrown by any
 // worker is rethrown on the caller.
+//
+// Batch scheduling: with the AccMoS engine and batching enabled, workers
+// claim lane-width CHUNKS of consecutive spec indices from the counter,
+// sub-group each chunk by compiled engine (a heterogeneous generator batch
+// interleaves shapes; same-shapeKey() specs share an engine and hence a
+// fused kernel call), and run each group through runBatch(). Result k
+// still lands at out[k], and per-spec results are bit-identical to the
+// scalar path, so the spec-order merge downstream is unchanged — campaign
+// output stays deterministic for any worker count and any lane width.
 std::vector<SimulationResult> SpecEvaluator::evaluate(
     const std::vector<TestCaseSpec>& specs) {
   if (specs.empty()) {
@@ -104,19 +113,37 @@ std::vector<SimulationResult> SpecEvaluator::evaluate(
     if (interps_.size() < workers) interps_.resize(workers);
   }
 
+  const size_t chunk =
+      opt_.engine == Engine::AccMoS ? std::max<size_t>(1, opt_.batchLanes) : 1;
+
   std::vector<SimulationResult> out(specs.size());
   auto runRange = [&](size_t worker, std::atomic<size_t>& next,
                       std::exception_ptr& error, std::mutex& errMutex) {
     for (;;) {
-      size_t k = next.fetch_add(1);
-      if (k >= specs.size()) break;
+      size_t k0 = next.fetch_add(chunk);
+      if (k0 >= specs.size()) break;
+      size_t k1 = std::min(specs.size(), k0 + chunk);
       try {
         if (opt_.engine == Engine::SSE) {
           auto& interp = interps_[worker];
           if (!interp) interp = std::make_unique<Interpreter>(fm_, opt_);
-          out[k] = interp->run(specs[k]);
+          for (size_t k = k0; k < k1; ++k) out[k] = interp->run(specs[k]);
         } else {
-          out[k] = engineOf[k]->run(0, -1.0, specs[k].seed);
+          // Group consecutive same-engine specs into one runBatch call;
+          // the engine chunks further to its lane width and falls back to
+          // scalar runs when the library cannot batch.
+          size_t g0 = k0;
+          while (g0 < k1) {
+            size_t g1 = g0 + 1;
+            while (g1 < k1 && engineOf[g1] == engineOf[g0]) ++g1;
+            std::vector<uint64_t> seeds;
+            seeds.reserve(g1 - g0);
+            for (size_t k = g0; k < g1; ++k) seeds.push_back(specs[k].seed);
+            std::vector<SimulationResult> rs =
+                engineOf[g0]->runBatch(seeds, 0, -1.0);
+            for (size_t k = g0; k < g1; ++k) out[k] = std::move(rs[k - g0]);
+            g0 = g1;
+          }
         }
       } catch (...) {
         std::lock_guard<std::mutex> lock(errMutex);

@@ -11,9 +11,12 @@
 // Campaigns scale across cores: `SimOptions::campaign.workers` fans the
 // seeds out over a worker pool (N concurrent executions of the one
 // compiled binary, or one interpreter instance per worker for SSE).
-// Per-seed results are collected and then merged in seed order, so the
-// outcome — per-seed reports, merged bitmaps, deduplicated diagnostics —
-// is bit-identical to the sequential run for any worker count.
+// With the dlopen backend and batching on (SimOptions::batchLanes), each
+// worker claims lane-width chunks of seeds and fuses them through the
+// library's accmos_run_batch kernel (docs/EXECUTION.md). Per-seed results
+// are collected and then merged in seed order, so the outcome — per-seed
+// reports, merged bitmaps, deduplicated diagnostics — is bit-identical to
+// the sequential scalar run for any worker count and any lane width.
 #pragma once
 
 #include <cstdint>

@@ -25,6 +25,9 @@
 //                                      (also: env ACCMOS_NO_OPT=1)
 //   --exec-mode=dlopen|process         AccMoS execution backend (default
 //                                      dlopen; also: env ACCMOS_EXEC_MODE)
+//   --batch-lanes=N                    fused batch-kernel lane width for
+//                                      multi-seed runs; 0 = scalar only
+//                                      (default 8; also: env ACCMOS_BATCH)
 //
 // gen --budget options (testgen mode; presence of --budget selects it):
 //   --budget=N           candidate evaluations (the search budget)
@@ -33,7 +36,8 @@
 //   --target-metric=M    actor|condition|decision|mcdc (default: all)
 //   --corpus-dir=DIR     export corpus (.spec/.csv + MANIFEST.tsv)
 //   --engine=sse|accmos  evaluation engine (default accmos)
-//   --steps=N --workers=W --no-opt --show-uncovered   as above
+//   --steps=N --workers=W --batch-lanes=N --no-opt --show-uncovered   as
+//                        above
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -64,16 +68,18 @@ int usage() {
                "             [--target-metric=actor|condition|decision|mcdc]\n"
                "             [--corpus-dir=DIR] [--engine=sse|accmos] "
                "[--steps=N]\n"
-               "             [--workers=W] [--no-opt] [--show-uncovered]\n"
+               "             [--workers=W] [--batch-lanes=N] [--no-opt] "
+               "[--show-uncovered]\n"
                "  accmos run <model.xml> [--engine=E] [--steps=N] "
                "[--budget=S]\n"
                "             [--tests=F.csv] [--seed=N] [--collect=PATH]...\n"
                "             [--no-coverage] [--no-diagnosis] "
                "[--stop-on-diagnostic] [--opt=-O3] [--no-opt] "
-               "[--exec-mode=dlopen|process] [--show-uncovered]\n"
+               "[--exec-mode=dlopen|process] [--batch-lanes=N] "
+               "[--show-uncovered]\n"
                "  accmos campaign <model.xml> [--seeds=N] [--steps=M] "
-               "[--engine=accmos|sse] [--workers=W] [--no-opt] "
-               "[--exec-mode=dlopen|process] [--show-uncovered]\n"
+               "[--engine=accmos|sse] [--workers=W] [--batch-lanes=N] "
+               "[--no-opt] [--exec-mode=dlopen|process] [--show-uncovered]\n"
                "  accmos export-suite <directory>\n");
   return 2;
 }
@@ -214,6 +220,8 @@ int cmdTestGen(const std::string& path,
       opt.maxSteps = std::strtoull(v.c_str(), nullptr, 10);
     } else if (flagValue(arg, "--workers", &v)) {
       opt.campaign.workers = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flagValue(arg, "--batch-lanes", &v)) {
+      opt.batchLanes = std::strtoull(v.c_str(), nullptr, 10);
     } else if (flagValue(arg, "--exec-mode", &v)) {
       if (!parseExecMode(v, &opt)) return 2;
     } else if (arg == "--no-opt") {
@@ -301,6 +309,8 @@ int cmdRun(const std::string& path, const std::vector<std::string>& args) {
       opt.collectList.push_back(v);
     } else if (flagValue(arg, "--opt", &v)) {
       opt.optFlag = v;
+    } else if (flagValue(arg, "--batch-lanes", &v)) {
+      opt.batchLanes = std::strtoull(v.c_str(), nullptr, 10);
     } else if (flagValue(arg, "--exec-mode", &v)) {
       if (!parseExecMode(v, &opt)) return 2;
     } else if (arg == "--no-coverage") {
@@ -402,6 +412,8 @@ int cmdCampaign(const std::string& path,
       opt.maxSteps = std::strtoull(v.c_str(), nullptr, 10);
     } else if (flagValue(arg, "--workers", &v)) {
       opt.campaign.workers = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flagValue(arg, "--batch-lanes", &v)) {
+      opt.batchLanes = std::strtoull(v.c_str(), nullptr, 10);
     } else if (flagValue(arg, "--engine", &v)) {
       if (v == "accmos") opt.engine = Engine::AccMoS;
       else if (v == "sse") opt.engine = Engine::SSE;
