@@ -10,19 +10,27 @@
 #include "actors/spec.h"
 #include "codegen/compiler_driver.h"
 #include "codegen/emitter.h"
+#include "codegen/fault.h"
 #include "codegen/model_lib.h"
 #include "codegen/results_parser.h"
+#include "codegen/run_guard.h"
 
 namespace accmos {
 
 namespace {
 
-// Test hook mirroring ACCMOS_DLOPEN_FAIL: forces runBatch() onto the
-// per-seed scalar fallback so the fallback matrix can be exercised without
-// manufacturing a defective library.
-bool batchForcedToFail() {
-  const char* v = std::getenv("ACCMOS_BATCH_FAIL");
-  return v != nullptr && v[0] != '\0' && std::string(v) != "0";
+// Test hook (ACCMOS_FAULT=batch-fail, legacy ACCMOS_BATCH_FAIL): forces
+// runBatch() onto the per-seed scalar fallback so the fallback matrix can
+// be exercised without manufacturing a defective library.
+bool batchForcedToFail() { return faultPlanFromEnv().batchFail; }
+
+// Seconds on the steady clock's epoch — the SAME clock the generated
+// code's accmos_now_s() reads, so host-computed absolute deadlines compare
+// directly inside the in-process step loop.
+double steadyNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -153,7 +161,29 @@ AccMoSEngine::AccMoSEngine(const FlatModel& fm, const SimOptions& opt,
   compileSeconds_ += compiled.seconds;
   compileCacheHit_ = compiled.cacheHit;
   exePath_ = compiled.exePath;
+  processExePath_ = compiled.exePath;
   execModeUsed_ = ExecMode::Process;
+}
+
+const std::string& AccMoSEngine::ensureExecutable() {
+  std::lock_guard<std::mutex> lock(exeMutex_);
+  if (processExePath_.empty()) {
+    // First subprocess fallback of a dlopen-mode engine: the shared
+    // library cannot be exec'd, so build the executable form now. Usually
+    // a cache hit in any campaign that fell back before.
+    auto compiled = driver_->compile(source_, "model_" + fm_.modelName,
+                                     opt_.optFlag, ArtifactKind::Executable);
+    processExePath_ = compiled.exePath;
+  }
+  return processExePath_;
+}
+
+bool AccMoSEngine::libUsable() const {
+  // A pre-v3 library has no cooperative deadline checks: an in-process
+  // hang there would be uninterruptible (no watchdog can kill a thread of
+  // our own process), so deadline-armed runs route around it.
+  return lib_ != nullptr && !quarantined() &&
+         (lib_->supportsDeadlines() || !deadlineArmed());
 }
 
 AccMoSEngine::~AccMoSEngine() = default;
@@ -174,15 +204,21 @@ SimulationResult AccMoSEngine::runInProcess(uint64_t steps, double budget,
 
   AccmosRunArgs args;
   std::memset(&args, 0, sizeof(args));
-  args.structSize = static_cast<uint32_t>(sizeof(AccmosRunArgs));
-  // Stamp the version the LIBRARY implements, not our compile-time
-  // constant: a v1 library checks args against version 1 (the scalar
-  // arg/result layouts are identical across versions, so this is the only
-  // difference that matters).
+  // Stamp the version and struct size the LIBRARY implements, not our
+  // compile-time constants: a v1 library checks args against version 1 and
+  // the 32-byte pre-v3 layout (identical across v1/v2), so the v3
+  // deadline fields must not be counted into structSize for it.
+  args.structSize = lib_->runArgsSize();
   args.abiVersion = lib_->abiVersion();
   args.maxSteps = steps;
   args.timeBudgetSec = budget;
   args.seed = seed;
+  if (lib_->supportsDeadlines()) {
+    args.deadlineSeconds = opt_.runTimeoutSec > 0.0
+                               ? steadyNowSeconds() + opt_.runTimeoutSec
+                               : 0.0;
+    args.stepBudget = opt_.stepBudget;
+  }
 
   AccmosRunResult res;
   std::memset(&res, 0, sizeof(res));
@@ -204,8 +240,21 @@ SimulationResult AccMoSEngine::runInProcess(uint64_t steps, double budget,
   res.outVals = outVals.empty() ? nullptr : outVals.data();
   res.outValsLen = outVals.size();
 
-  int rc = lib_->run(args, res);
-  if (rc != ACCMOS_ABI_OK) {
+  // The guard turns a fatal signal inside the generated code into a typed
+  // exception (best effort — see run_guard.h); callers strike the engine
+  // toward quarantine and retry on the subprocess backend.
+  GuardedCallResult g = runGuarded([&]() { return lib_->run(args, res); });
+  if (g.crashed) {
+    throw SimCrashError("in-process model run crashed with signal " +
+                            std::to_string(g.signal) + " (library " +
+                            lib_->path() + ")",
+                        g.signal);
+  }
+  int rc = g.rc;
+  // ETIMEOUT is a *retired* run, not a broken one: the generated loop
+  // observed its deadline or step budget, extraction still ran, and
+  // res.timedOut is set — decode normally.
+  if (rc != ACCMOS_ABI_OK && rc != ACCMOS_ABI_ETIMEOUT) {
     throw CompileError("in-process model run failed with ABI status " +
                        std::to_string(rc) + " (library " + lib_->path() +
                        ")");
@@ -220,9 +269,19 @@ SimulationResult AccMoSEngine::runInProcess(uint64_t steps, double budget,
 
 SimulationResult AccMoSEngine::runSubprocess(uint64_t steps, double budget,
                                              uint64_t seed) {
-  std::string output = driver_->run(
-      exePath_,
-      {std::to_string(steps), std::to_string(budget), std::to_string(seed)});
+  const std::string& exe = ensureExecutable();
+  std::vector<std::string> argv = {std::to_string(steps),
+                                   std::to_string(budget),
+                                   std::to_string(seed)};
+  if (deadlineArmed()) {
+    // The deadline crosses the process boundary as a RELATIVE timeout
+    // (monotonic epochs differ between processes); the child computes its
+    // own absolute deadline. The driver additionally arms its host-side
+    // watchdog with the same timeout as a backstop for genuine hangs.
+    argv.push_back(std::to_string(opt_.runTimeoutSec));
+    argv.push_back(std::to_string(opt_.stepBudget));
+  }
+  std::string output = driver_->run(exe, argv, opt_.runTimeoutSec);
   SimulationResult result = parseResults(
       output, fm_, opt_.coverage ? &covPlan_ : nullptr,
       opt_.diagnosis ? &diagPlan_ : nullptr, collectSignals_,
@@ -248,20 +307,91 @@ SimulationResult AccMoSEngine::run(uint64_t maxStepsOverride,
   double budget =
       timeBudgetOverride >= 0.0 ? timeBudgetOverride : opt_.timeBudgetSec;
   uint64_t seed = seedOverride.value_or(tests_.seed);
-  SimulationResult result = lib_ != nullptr
-                                ? runInProcess(steps, budget, seed)
-                                : runSubprocess(steps, budget, seed);
+  SimulationResult result = libUsable() ? runInProcess(steps, budget, seed)
+                                        : runSubprocess(steps, budget, seed);
   finishResult(result);
   return result;
 }
 
+SimulationResult AccMoSEngine::failedResult(FailureKind kind, uint64_t seed,
+                                            int signal, int retries,
+                                            const char* backend,
+                                            std::string message) const {
+  SimulationResult r;
+  r.failed = true;
+  r.timedOut = kind == FailureKind::Timeout;
+  r.failure.kind = kind;
+  r.failure.seed = seed;
+  r.failure.signal = signal;
+  r.failure.retries = retries;
+  r.failure.backend = backend;
+  r.failure.message = std::move(message);
+  r.execMode = backend;
+  return r;
+}
+
+SimulationResult AccMoSEngine::runContained(
+    uint64_t maxStepsOverride, double timeBudgetOverride,
+    std::optional<uint64_t> seedOverride) {
+  const uint64_t steps =
+      maxStepsOverride != 0 ? maxStepsOverride : opt_.maxSteps;
+  const double budget =
+      timeBudgetOverride >= 0.0 ? timeBudgetOverride : opt_.timeBudgetSec;
+  const uint64_t seed = seedOverride.value_or(tests_.seed);
+
+  int retries = 0;
+  if (libUsable()) {
+    try {
+      SimulationResult r = runInProcess(steps, budget, seed);
+      if (!r.timedOut) {
+        finishResult(r);
+        return r;
+      }
+      // Cooperative in-process hang: a timed-out run's partial
+      // observations depend on wall-clock timing, so they are never
+      // merged. Strike, then give the seed its one subprocess retry.
+      strike();
+    } catch (const SimCrashError&) {
+      strike();
+    } catch (const ModelError&) {
+      // ABI status failure / undecodable result — retry out-of-process
+      // without striking (nothing suggests in-process state damage).
+    }
+    retries = 1;
+  }
+
+  try {
+    SimulationResult r = runSubprocess(steps, budget, seed);
+    if (r.timedOut) {
+      return failedResult(
+          FailureKind::Timeout, seed, 0, retries, "process",
+          "run retired at its wall-clock deadline / step budget");
+    }
+    finishResult(r);
+    return r;
+  } catch (const SimTimeoutError& e) {
+    return failedResult(FailureKind::Timeout, seed, 0, retries, "process",
+                        e.what());
+  } catch (const SimCrashError& e) {
+    return failedResult(FailureKind::Crash, seed, e.terminatingSignal(),
+                        retries, "process", e.what());
+  } catch (const CompileError& e) {
+    return failedResult(FailureKind::CompileError, seed, 0, retries,
+                        "process", e.what());
+  } catch (const ModelError& e) {
+    return failedResult(FailureKind::AbiMismatch, seed, 0, retries, "process",
+                        e.what());
+  }
+}
+
 uint64_t AccMoSEngine::batchLanes() const {
-  if (lib_ == nullptr || batchForcedToFail()) return 0;
+  if (!libUsable() || batchForcedToFail()) return 0;
   return lib_->batchLanes();
 }
 
 void AccMoSEngine::runBatchChunk(const uint64_t* seeds, size_t n,
                                  uint64_t steps, double budget,
+                                 bool contained,
                                  std::vector<SimulationResult>& out) {
   const AccmosModelInfo& info = lib_->info();
   const size_t diagStride =
@@ -313,12 +443,18 @@ void AccMoSEngine::runBatchChunk(const uint64_t* seeds, size_t n,
 
   AccmosBatchRunArgs args;
   std::memset(&args, 0, sizeof(args));
-  args.structSize = static_cast<uint32_t>(sizeof(AccmosBatchRunArgs));
+  args.structSize = lib_->batchArgsSize();
   args.abiVersion = lib_->abiVersion();
   args.numLanes = n;
   args.maxSteps = steps;
   args.timeBudgetSec = budget;
   args.seeds = seeds;
+  if (lib_->supportsDeadlines()) {
+    args.deadlineSeconds = opt_.runTimeoutSec > 0.0
+                               ? steadyNowSeconds() + opt_.runTimeoutSec
+                               : 0.0;
+    args.stepBudget = opt_.stepBudget;
+  }
 
   AccmosBatchRunResult bres;
   std::memset(&bres, 0, sizeof(bres));
@@ -327,13 +463,22 @@ void AccMoSEngine::runBatchChunk(const uint64_t* seeds, size_t n,
   bres.numLanes = n;
   bres.lanes = laneRes.data();
 
-  int rc = lib_->runBatch(args, bres);
-  if (rc != ACCMOS_ABI_OK) {
-    // Geometry was cross-checked at load, so this is unexpected — but the
-    // contract is "batch never changes observations", so degrade to the
-    // scalar path for this chunk instead of failing the campaign.
+  // A crash inside the fused kernel takes the whole chunk down (the guard
+  // recovers control, but every lane's results are suspect): strike once —
+  // it is one faulting kernel call — and degrade the chunk to the scalar
+  // path, where the faulting seed is isolated from its chunk-mates.
+  GuardedCallResult g =
+      runGuarded([&]() { return lib_->runBatch(args, bres); });
+  if (g.crashed) strike();
+  int rc = g.crashed ? -1 : g.rc;
+  if (rc != ACCMOS_ABI_OK && rc != ACCMOS_ABI_ETIMEOUT) {
+    // Crash, or a geometry rejection that load-time cross-checks should
+    // have caught — either way the contract is "batch never changes
+    // observations", so degrade to the scalar path for this chunk instead
+    // of failing the campaign.
     for (size_t l = 0; l < n; ++l) {
-      out.push_back(run(steps, budget, seeds[l]));
+      out.push_back(contained ? runContained(steps, budget, seeds[l])
+                              : run(steps, budget, seeds[l]));
     }
     return;
   }
@@ -342,6 +487,15 @@ void AccMoSEngine::runBatchChunk(const uint64_t* seeds, size_t n,
         laneRes[l], fm_, opt_.coverage ? &covPlan_ : nullptr,
         opt_.diagnosis ? &diagPlan_ : nullptr, collectSignals_,
         opt_.customDiagnostics);
+    if (contained && r.timedOut) {
+      // The batch deadline is shared: a lane may have been retired only
+      // because a sibling hogged the fused loop. One solo scalar retry
+      // with a fresh deadline makes survival a per-seed property — a seed
+      // that finishes within the deadline on its own yields bit-identical
+      // results at any lane count; one that cannot is a genuine Timeout.
+      out.push_back(runContained(steps, budget, seeds[l]));
+      continue;
+    }
     r.execMode = kExecModeDlopenBatch;
     finishResult(r);
     out.push_back(std::move(r));
@@ -370,7 +524,30 @@ std::vector<SimulationResult> AccMoSEngine::runBatch(
        base += static_cast<size_t>(lanes)) {
     const size_t n =
         std::min<size_t>(static_cast<size_t>(lanes), seeds.size() - base);
-    runBatchChunk(&seeds[base], n, steps, budget, out);
+    runBatchChunk(&seeds[base], n, steps, budget, /*contained=*/false, out);
+  }
+  return out;
+}
+
+std::vector<SimulationResult> AccMoSEngine::runBatchContained(
+    const std::vector<uint64_t>& seeds, uint64_t maxStepsOverride,
+    double timeBudgetOverride) {
+  uint64_t steps = maxStepsOverride != 0 ? maxStepsOverride : opt_.maxSteps;
+  double budget =
+      timeBudgetOverride >= 0.0 ? timeBudgetOverride : opt_.timeBudgetSec;
+  std::vector<SimulationResult> out;
+  out.reserve(seeds.size());
+  for (size_t base = 0; base < seeds.size();) {
+    const uint64_t lanes = batchLanes();  // re-read: quarantine may trip
+    if (lanes == 0) {
+      out.push_back(runContained(steps, budget, seeds[base]));
+      ++base;
+      continue;
+    }
+    const size_t n =
+        std::min<size_t>(static_cast<size_t>(lanes), seeds.size() - base);
+    runBatchChunk(&seeds[base], n, steps, budget, /*contained=*/true, out);
+    base += n;
   }
   return out;
 }

@@ -13,12 +13,15 @@
 // Both backends produce bit-identical SimulationResults.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 
 #include "cov/coverage.h"
 #include "diag/diagnosis.h"
 #include "graph/flat_model.h"
+#include "sim/failure.h"
 #include "sim/options.h"
 #include "sim/result.h"
 #include "sim/testcase.h"
@@ -62,6 +65,39 @@ class AccMoSEngine {
       const std::vector<uint64_t>& seeds, uint64_t maxStepsOverride = 0,
       double timeBudgetOverride = -1.0);
 
+  // Fault-contained single run: never throws for per-run faults. The
+  // degradation ladder (docs/ROBUSTNESS.md) is
+  //   dlopen -> subprocess -> structured failure:
+  // an in-process run that crashes (caught by the signal guard) or hangs
+  // (retired by its ABI v3 deadline / step budget) earns the engine a
+  // strike and is retried exactly once on the subprocess backend, whose
+  // host-side watchdog can kill even an uncooperative child. If that
+  // attempt also fails, the returned SimulationResult has failed == true
+  // and a populated RunFailure instead of observations — campaigns and the
+  // generator record it and move on. Results that timed out carry
+  // wall-clock-dependent partial observations, so containment reports them
+  // as FailureKind::Timeout rather than merging nondeterministic data.
+  SimulationResult runContained(
+      uint64_t maxStepsOverride = 0, double timeBudgetOverride = -1.0,
+      std::optional<uint64_t> seedOverride = std::nullopt);
+
+  // Fault-contained runBatch(): same ladder per seed. A crash inside the
+  // fused kernel takes the whole chunk down (lanes share one state struct
+  // instance lifetime), so the chunk degrades to per-seed runContained();
+  // a lane retired by the shared batch deadline gets one solo scalar retry
+  // with a fresh deadline — a seed that can finish within the deadline on
+  // its own therefore produces bit-identical results for any lane count.
+  std::vector<SimulationResult> runBatchContained(
+      const std::vector<uint64_t>& seeds, uint64_t maxStepsOverride = 0,
+      double timeBudgetOverride = -1.0);
+
+  // Quarantine: after two strikes (in-process crash or hang) the engine
+  // stops using the dlopen library for the rest of its lifetime and routes
+  // every run through the subprocess backend, where the OS cleans up
+  // whatever a fault leaves behind. Monotonic — there is no parole.
+  int strikes() const { return strikes_.load(std::memory_order_relaxed); }
+  bool quarantined() const { return strikes() >= 2; }
+
   // Lanes a runBatch() call will actually fuse per kernel invocation:
   // the loaded library's capability, or 0 when runBatch() would take the
   // scalar fallback (evaluated per call — the ACCMOS_BATCH_FAIL hook is
@@ -89,11 +125,30 @@ class AccMoSEngine {
   SimulationResult runSubprocess(uint64_t steps, double budget,
                                  uint64_t seed);
   // One fused kernel call over n <= batchLanes() consecutive seeds,
-  // appending n finished results to `out`.
+  // appending n finished results to `out`. `contained` selects which
+  // scalar path (run / runContained) absorbs kernel crashes and
+  // deadline-retired lanes.
   void runBatchChunk(const uint64_t* seeds, size_t n, uint64_t steps,
-                     double budget, std::vector<SimulationResult>& out);
+                     double budget, bool contained,
+                     std::vector<SimulationResult>& out);
   // Common result tail: coverage report + generate/compile/load timings.
   void finishResult(SimulationResult& r) const;
+
+  // Subprocess fallback needs an *executable*; in dlopen mode the engine
+  // only compiled a shared library, so the executable is built lazily on
+  // first fallback (and cached — content-addressed — for the next one).
+  const std::string& ensureExecutable();
+  void strike() { strikes_.fetch_add(1, std::memory_order_relaxed); }
+  // True when this engine's options ask for deadline enforcement.
+  bool deadlineArmed() const {
+    return opt_.runTimeoutSec > 0.0 || opt_.stepBudget > 0;
+  }
+  // Whether a run may use the loaded library right now (not quarantined,
+  // and the library can honour a requested deadline cooperatively).
+  bool libUsable() const;
+  SimulationResult failedResult(FailureKind kind, uint64_t seed, int signal,
+                                int retries, const char* backend,
+                                std::string message) const;
 
   const FlatModel& fm_;
   SimOptions opt_;
@@ -110,6 +165,13 @@ class AccMoSEngine {
   ExecMode execModeUsed_ = ExecMode::Process;
   std::unique_ptr<class CompilerDriver> driver_;
   std::unique_ptr<class ModelLib> lib_;  // set in dlopen mode only
+
+  // Lazily-built executable for the subprocess fallback (see
+  // ensureExecutable); equals exePath_ when the engine started in Process
+  // mode. Guarded by exeMutex_ — campaign workers share the engine.
+  std::string processExePath_;
+  std::mutex exeMutex_;
+  std::atomic<int> strikes_{0};
 };
 
 // One-shot convenience.

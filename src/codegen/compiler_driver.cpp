@@ -1,5 +1,6 @@
 #include "codegen/compiler_driver.h"
 
+#include <fcntl.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -13,7 +14,12 @@
 #include <fstream>
 #include <mutex>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
+
+#include "codegen/fault.h"
+#include "codegen/subprocess.h"
+#include "sim/failure.h"
 
 namespace accmos {
 namespace fs = std::filesystem;
@@ -21,6 +27,7 @@ namespace fs = std::filesystem;
 namespace {
 
 std::atomic<int> g_dirCounter{0};
+std::atomic<int> g_tmpCounter{0};
 
 std::string readFile(const fs::path& p) {
   std::ifstream in(p, std::ios::binary);
@@ -40,24 +47,6 @@ std::string shellQuote(const std::string& s) {
   }
   out += "'";
   return out;
-}
-
-// Turns a wait()-style status (std::system, pclose) into a human-readable
-// description; returns the empty string for a clean exit.
-std::string describeStatus(int status) {
-  if (status == -1) {
-    return std::string("could not be launched (") + std::strerror(errno) + ")";
-  }
-  if (WIFSIGNALED(status)) {
-    return "was killed by signal " + std::to_string(WTERMSIG(status));
-  }
-  if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
-    return "exited with status " + std::to_string(WEXITSTATUS(status));
-  }
-  if (!WIFEXITED(status)) {
-    return "stopped abnormally (wait status " + std::to_string(status) + ")";
-  }
-  return "";
 }
 
 uint64_t fnv1a64(const std::string& data, uint64_t h = 0xcbf29ce484222325ull) {
@@ -115,15 +104,51 @@ bool verifyEntry(const CacheEntry& e) {
   return hex16(fnv1a64(readFile(e.bin))) == hash;
 }
 
+// Flushes a file's data to stable storage before it is renamed into
+// place: a crash between rename and writeback must not be able to
+// publish a hole-filled binary under a valid-looking name.
+bool fsyncPath(const fs::path& p) {
+  int fd = ::open(p.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+// Best-effort sweep of abandoned temp files (a writer killed between
+// copy and rename leaves its *.tmp behind forever otherwise). Only
+// clearly-stale files go: anything older than an hour can't belong to a
+// live writer. Runs once per process — the dir scan is not free.
+void sweepStaleTemps(const fs::path& dir) {
+  static std::once_flag once;
+  std::call_once(once, [&dir] {
+    std::error_code ec;
+    auto now = fs::file_time_type::clock::now();
+    for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+         it.increment(ec)) {
+      const fs::path& p = it->path();
+      if (p.extension() != ".tmp") continue;
+      auto mtime = fs::last_write_time(p, ec);
+      if (ec) continue;
+      if (now - mtime > std::chrono::hours(1)) fs::remove(p, ec);
+    }
+  });
+}
+
 // Atomically publishes `exePath` under the cache key: copy to a temp name
-// in the cache dir, then rename (binary first, sidecar last — readers
-// require a valid sidecar, so a torn write is just a miss). Best effort:
-// any filesystem error leaves the cache unused, not the build broken.
+// in the cache dir, fsync, then rename (binary first, sidecar last —
+// readers require a valid sidecar, so a torn write is just a miss). The
+// temp tag is pid + a process-wide counter, so concurrent writers in one
+// process (campaign workers compiling different shapes) can never race on
+// the same temp name. Best effort: any filesystem error leaves the cache
+// unused, not the build broken.
 bool storeEntry(uint64_t key, const fs::path& exePath) {
   try {
     CacheEntry e = cachePaths(key);
     fs::create_directories(e.bin.parent_path());
-    std::string tag = "." + std::to_string(::getpid()) + ".tmp";
+    sweepStaleTemps(e.bin.parent_path());
+    std::string tag = "." + std::to_string(::getpid()) + "." +
+                      std::to_string(g_tmpCounter.fetch_add(1)) + ".tmp";
     fs::path binTmp = e.bin.string() + tag;
     fs::path metaTmp = e.meta.string() + tag;
     fs::copy_file(exePath, binTmp, fs::copy_options::overwrite_existing);
@@ -132,6 +157,12 @@ bool storeEntry(uint64_t key, const fs::path& exePath) {
       std::ofstream meta(metaTmp);
       meta << content.size() << " " << hex16(fnv1a64(content)) << "\n";
       if (!meta) return false;
+    }
+    if (!fsyncPath(binTmp) || !fsyncPath(metaTmp)) {
+      std::error_code ec;
+      fs::remove(binTmp, ec);
+      fs::remove(metaTmp, ec);
+      return false;
     }
     fs::rename(binTmp, e.bin);
     fs::rename(metaTmp, e.meta);
@@ -174,6 +205,16 @@ std::string CompilerDriver::cacheDir() {
   const char* env = std::getenv("ACCMOS_CACHE_DIR");
   if (env != nullptr && env[0] != '\0') return env;
   return (fs::temp_directory_path() / "accmos-cache").string();
+}
+
+double CompilerDriver::defaultCompileTimeout() {
+  if (const char* env = std::getenv("ACCMOS_COMPILE_TIMEOUT");
+      env != nullptr && env[0] != '\0') {
+    char* end = nullptr;
+    double v = std::strtod(env, &end);
+    if (end != env && v >= 0.0) return v;
+  }
+  return 300.0;
 }
 
 uint64_t CompilerDriver::cacheKey(const std::string& source,
@@ -240,17 +281,77 @@ CompileOutput CompilerDriver::compile(const std::string& source,
   cmd << compilerPath() << " -std=c++17 " << optFlag;
   if (shared) cmd << " " << kSharedLibFlags;
   if (!extraFlags.empty()) cmd << " " << extraFlags;
-  cmd << " -o " << shellQuote(exe.string()) << " " << shellQuote(src.string())
-      << " > " << shellQuote(log.string()) << " 2>&1";
+  cmd << " -o " << shellQuote(exe.string()) << " " << shellQuote(src.string());
+
+  // The watchdog + rlimits containing ONE compiler invocation. The CPU
+  // limit shadows the wall-clock one (a compiler spinning on one core hits
+  // both); AS is deliberately left unlimited — modern compilers and
+  // sanitizer builds legitimately reserve huge address ranges.
+  SpawnLimits limits;
+  limits.timeoutSec = compileTimeoutSec_;
+  limits.cpuSeconds = compileTimeoutSec_ > 0.0 ? compileTimeoutSec_ * 2.0 : 0.0;
+  limits.fileSizeBytes = 4ull << 30;
+
+  const FaultPlan faults = faultPlanFromEnv();
+  constexpr int kMaxAttempts = 3;
   auto t0 = std::chrono::steady_clock::now();
-  int rc = std::system(cmd.str().c_str());
+  SpawnResult r;
+  int attempt = 0;
+  for (;;) {
+    std::string shellCmd = cmd.str();
+    // Deterministic fault injection (ACCMOS_FAULT): stage a compiler
+    // death or a slow compile instead of / before the real invocation.
+    if (consumeCompileFault(faults)) {
+      if (faults.compileFailExit > 0) {
+        shellCmd = "echo 'accmos: injected compiler failure' >&2; exit " +
+                   std::to_string(faults.compileFailExit);
+      } else {
+        shellCmd = "kill -" + std::to_string(faults.compileFailSignal) + " $$";
+      }
+    } else if (faults.slowCompileMs > 0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "sleep %.3f; ",
+                    faults.slowCompileMs / 1000.0);
+      shellCmd = buf + shellCmd;
+    }
+    r = spawnAndCapture({"/bin/sh", "-c", shellCmd}, limits);
+    if (r.exitedOk()) break;
+
+    // Transient failures — the OOM killer's SIGKILL or a fork-time EAGAIN
+    // — are retried with bounded exponential backoff. A watchdog kill is
+    // NOT transient: what timed out once will time out again.
+    bool transient = !r.timedOut && ((r.launchFailed &&
+                                      r.launchErrno == EAGAIN) ||
+                                     statusKilledBy(r.status, SIGKILL));
+    if (!transient || attempt + 1 >= kMaxAttempts) {
+      std::string failure;
+      if (r.timedOut) {
+        failure = "timed out after " + std::to_string(compileTimeoutSec_) +
+                  "s (watchdog killed the compiler process group)";
+      } else if (r.launchFailed) {
+        failure = std::string("could not be launched (") +
+                  std::strerror(r.launchErrno) + ")";
+      } else {
+        failure = describeWaitStatus(r.status);
+      }
+      if (attempt > 0) {
+        failure += " after " + std::to_string(attempt) + " retr" +
+                   (attempt == 1 ? "y" : "ies");
+      }
+      throw CompileError("compilation of generated simulation code failed: " +
+                         compilerPath() + " " + failure +
+                         "\ncompiler output:\n" + r.output);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25 << attempt));
+    ++attempt;
+  }
   auto t1 = std::chrono::steady_clock::now();
   out.seconds = std::chrono::duration<double>(t1 - t0).count();
-  std::string failure = describeStatus(rc);
-  if (!failure.empty()) {
-    throw CompileError("compilation of generated simulation code failed: " +
-                       compilerPath() + " " + failure +
-                       "\ncompiler output:\n" + readFile(log));
+  out.retries = attempt;
+  {
+    // Keep the on-disk log for debugging sessions with keepGeneratedCode.
+    std::ofstream f(log);
+    f << r.output;
   }
   out.exePath = exe.string();
   if (useCache && storeEntry(key, exe)) {
@@ -263,34 +364,44 @@ CompileOutput CompilerDriver::compile(const std::string& source,
 }
 
 std::string CompilerDriver::run(const std::string& exePath,
-                                const std::vector<std::string>& args) const {
-  std::ostringstream cmd;
-  cmd << shellQuote(exePath);
-  for (const auto& a : args) cmd << " " << shellQuote(a);
-  FILE* pipe = ::popen(cmd.str().c_str(), "r");
-  if (pipe == nullptr) {
+                                const std::vector<std::string>& args,
+                                double timeoutSec) const {
+  std::vector<std::string> argv;
+  argv.reserve(args.size() + 1);
+  argv.push_back(exePath);
+  for (const auto& a : args) argv.push_back(a);
+
+  // The generated program normally retires itself cooperatively before
+  // its deadline; the watchdog is the backstop for a genuine hang, so it
+  // fires a little later than the cooperative deadline would.
+  SpawnLimits limits;
+  limits.timeoutSec = timeoutSec > 0.0 ? timeoutSec * 1.5 + 1.0 : 0.0;
+  limits.cpuSeconds = timeoutSec > 0.0 ? timeoutSec * 2.0 + 5.0 : 0.0;
+  limits.fileSizeBytes = 1ull << 30;
+
+  SpawnResult r = spawnAndCapture(argv, limits);
+  if (r.launchFailed) {
     throw CompileError(
         std::string("failed to launch generated simulation binary: ") +
-        std::strerror(errno));
+        std::strerror(r.launchErrno));
   }
-  std::string output;
-  char buf[4096];
-  size_t n;
-  while ((n = ::fread(buf, 1, sizeof(buf), pipe)) > 0) {
-    output.append(buf, n);
+  if (r.timedOut) {
+    throw SimTimeoutError("generated simulation binary exceeded the " +
+                          std::to_string(limits.timeoutSec) +
+                          "s watchdog deadline; its process group was killed");
   }
-  bool readError = ::ferror(pipe) != 0;
-  int rc = ::pclose(pipe);
-  if (readError) {
-    throw CompileError(
-        "error reading output of generated simulation binary " + exePath);
+  if (WIFSIGNALED(r.status)) {
+    throw SimCrashError("generated simulation binary " +
+                            describeWaitStatus(r.status) + "\n" + r.output,
+                        WTERMSIG(r.status));
   }
-  std::string failure = describeStatus(rc);
+  std::string failure = describeWaitStatus(r.status);
   if (!failure.empty()) {
-    throw CompileError("generated simulation binary " + failure + "\n" +
-                       output);
+    throw SimCrashError("generated simulation binary " + failure + "\n" +
+                            r.output,
+                        0);
   }
-  return output;
+  return r.output;
 }
 
 }  // namespace accmos

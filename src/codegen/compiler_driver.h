@@ -38,6 +38,7 @@ struct CompileOutput {
   std::string sourcePath;
   double seconds = 0.0;
   bool cacheHit = false;  // binary came from the content-addressed cache
+  int retries = 0;  // transient compiler failures absorbed (OOM-kill, EAGAIN)
 };
 
 class CompilerDriver {
@@ -61,11 +62,15 @@ class CompilerDriver {
                         ArtifactKind kind = ArtifactKind::Executable,
                         const std::string& extraFlags = "");
 
-  // Runs the binary with the given argv, returning captured stdout.
-  // Throws CompileError on launch failure, read error, or non-zero exit
-  // (the message decodes signals vs. exit statuses and carries the output).
+  // Runs the binary with the given argv, returning captured output
+  // (stdout+stderr). timeoutSec > 0 arms the host-side watchdog: on
+  // expiry the child's process group is SIGKILLed and SimTimeoutError is
+  // thrown. Death by signal throws SimCrashError (carrying the signal),
+  // a nonzero exit throws SimCrashError with signal 0, and a launch
+  // failure throws CompileError — the same taxonomy campaigns record.
   std::string run(const std::string& exePath,
-                  const std::vector<std::string>& args) const;
+                  const std::vector<std::string>& args,
+                  double timeoutSec = 0.0) const;
 
   const std::string& dir() const { return dir_; }
   // Keep the working directory on destruction (for debugging / the
@@ -74,6 +79,10 @@ class CompilerDriver {
   // Disable the compile cache for this driver (SimOptions::compileCache).
   // The ACCMOS_CACHE_DISABLE environment variable disables it globally.
   void setCacheEnabled(bool enabled) { cacheEnabled_ = enabled; }
+  // Wall-clock watchdog for one compiler invocation (seconds; 0 = off).
+  // Initialized from $ACCMOS_COMPILE_TIMEOUT, default 300.
+  void setCompileTimeout(double sec) { compileTimeoutSec_ = sec; }
+  double compileTimeout() const { return compileTimeoutSec_; }
 
   // The compiler command used ($CXX, else c++).
   static std::string compilerPath();
@@ -91,11 +100,16 @@ class CompilerDriver {
                            ArtifactKind kind = ArtifactKind::Executable,
                            const std::string& extraFlags = "");
 
+  // Default compile watchdog: $ACCMOS_COMPILE_TIMEOUT seconds, else 300
+  // (a backstop against a wedged compiler, far above any real compile).
+  static double defaultCompileTimeout();
+
  private:
   std::string dir_;
   bool owned_ = false;  // we created it -> we may remove it
   bool keep_ = false;
   bool cacheEnabled_ = true;
+  double compileTimeoutSec_ = defaultCompileTimeout();
 };
 
 }  // namespace accmos

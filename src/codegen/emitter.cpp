@@ -37,6 +37,18 @@ std::string asDoubleExpr(DataType t, const std::string& elem) {
   return "(double)" + elem;
 }
 
+// Trigger condition of one injected step-loop fault: fires from `step`
+// onward, optionally only for one seed (seedExpr is "seed" in the scalar
+// loop, "seeds[l]" in the batch loop).
+std::string faultCond(const FaultPlan::SiteFault& f,
+                      const std::string& seedExpr) {
+  std::string c = "step >= " + std::to_string(f.step) + "ULL";
+  if (f.hasSeed) {
+    c += " && " + seedExpr + " == " + std::to_string(f.seed) + "ULL";
+  }
+  return c;
+}
+
 }  // namespace
 
 Emitter::Emitter(const FlatModel& fm, const SimOptions& opt,
@@ -46,7 +58,8 @@ Emitter::Emitter(const FlatModel& fm, const SimOptions& opt,
       opt_(opt),
       tests_(tests),
       covPlan_(covPlan),
-      diagPlan_(diagPlan) {
+      diagPlan_(diagPlan),
+      faults_(faultPlanFromEnv()) {
   collectSignals_ = monitoredSignals(fm_, opt_.collectList);
 }
 
@@ -367,16 +380,38 @@ void Emitter::emitModelExe(std::ostringstream& os) {
 
 void Emitter::emitSimLoop(std::ostringstream& os) {
   os << "  // One full simulation on this state instance. Returns the steps\n"
-     << "  // executed; the loop's wall time lands in *execNs.\n"
+     << "  // executed; the loop's wall time lands in *execNs. deadline is\n"
+     << "  // an absolute accmos_now_s() point (0 = none) polled every 256\n"
+     << "  // steps; stepBudget caps executed steps (0 = none). Either\n"
+     << "  // tripping retires the run with *timedOut set — partial results\n"
+     << "  // up to that point stay valid.\n"
      << "  uint64_t accmos_sim_run(uint64_t maxSteps, double budget,\n"
-     << "                          uint64_t seed, int* stoppedEarly,\n"
-     << "                          unsigned long long* execNs) {\n"
+     << "                          uint64_t seed, double deadline,\n"
+     << "                          uint64_t stepBudget, int* stoppedEarly,\n"
+     << "                          unsigned long long* execNs,\n"
+     << "                          int* timedOut) {\n"
      << "    Model_Init(seed);\n"
      << "    int stopped = 0;\n"
+     << "    *timedOut = 0;\n"
      << "    auto t0 = std::chrono::steady_clock::now();\n"
      << "    uint64_t step = 0;\n"
-     << "    for (; step < maxSteps; ++step) {\n"
-     << "      accmos_fill_inputs(step);\n"
+     << "    for (; step < maxSteps; ++step) {\n";
+  if (faults_.hang.armed) {
+    os << "      // ACCMOS_FAULT hang: cooperative wedge — spins until the\n"
+       << "      // deadline passes (or forever when none was set, which is\n"
+       << "      // what the host watchdog exists for).\n"
+       << "      if (" << faultCond(faults_.hang, "seed") << ") {\n"
+       << "        while (!(deadline > 0.0 && accmos_now_s() >= deadline))\n"
+       << "          accmos_pause_ms(1);\n"
+       << "        *timedOut = 1; break;\n"
+       << "      }\n";
+  }
+  if (faults_.crash.armed) {
+    os << "      // ACCMOS_FAULT crash: a genuine fatal signal.\n"
+       << "      if (" << faultCond(faults_.crash, "seed")
+       << ") raise(SIGSEGV);\n";
+  }
+  os << "      accmos_fill_inputs(step);\n"
      << "      Model_Exe(step);\n"
      << "      if (accmos_stop) { ++step; stopped = 1; break; }\n";
   if (opt_.stopOnDiagnostic) {
@@ -385,6 +420,11 @@ void Emitter::emitSimLoop(std::ostringstream& os) {
   os << "      if (budget > 0.0 && (step & 1023) == 1023 &&\n"
      << "          std::chrono::duration<double>(std::chrono::steady_clock"
         "::now() - t0).count() >= budget) { ++step; break; }\n"
+     << "      if (stepBudget != 0 && step + 1 >= stepBudget &&\n"
+     << "          step + 1 < maxSteps) { ++step; *timedOut = 1; break; }\n"
+     << "      if (deadline > 0.0 && (step & 255) == 255 &&\n"
+     << "          accmos_now_s() >= deadline) { ++step; *timedOut = 1; "
+        "break; }\n"
      << "    }\n"
      << "    auto t1 = std::chrono::steady_clock::now();\n"
      << "    *execNs = (unsigned long long)\n"
@@ -550,20 +590,30 @@ void Emitter::emitAbi(std::ostringstream& os) {
      << "      res->abiVersion != ACCMOS_ABI_VERSION) "
         "return ACCMOS_ABI_EVERSION;\n";
   emitResultChecks(os, "res->", "  ");
-  os << "  accmos_model* M = new (std::nothrow) accmos_model();\n"
+  os << "  double deadline = 0.0;\n"
+     << "  uint64_t stepBudget = 0;\n"
+     << "#if ACCMOS_ABI_VERSION >= 3u\n"
+     << "  deadline = args->deadlineSeconds;\n"
+     << "  stepBudget = args->stepBudget;\n"
+     << "#endif\n"
+     << "  accmos_model* M = new (std::nothrow) accmos_model();\n"
      << "  if (!M) return ACCMOS_ABI_EALLOC;\n"
      << "  int stopped = 0;\n"
      << "  unsigned long long ns = 0;\n"
+     << "  int timedOut = 0;\n"
      << "  res->stepsExecuted = M->accmos_sim_run(args->maxSteps, "
         "args->timeBudgetSec,\n"
-     << "                                         args->seed, &stopped, "
-        "&ns);\n"
+     << "                                         args->seed, deadline, "
+        "stepBudget,\n"
+     << "                                         &stopped, &ns, "
+        "&timedOut);\n"
      << "  res->stoppedEarly = (uint32_t)stopped;\n"
+     << "  res->timedOut = (uint32_t)timedOut;\n"
      << "  res->execNs = ns;\n";
   emitResultExtract(
       os, "res->", [](const std::string& n) { return "M->" + n; }, "  ");
   os << "  delete M;\n"
-     << "  return ACCMOS_ABI_OK;\n"
+     << "  return timedOut ? ACCMOS_ABI_ETIMEOUT : ACCMOS_ABI_OK;\n"
      << "}\n\n";
 }
 
@@ -577,6 +627,7 @@ void Emitter::emitBatchSimLoop(std::ostringstream& os) {
      << "  // applies to the whole batch.\n"
      << "  void accmos_batch_sim(uint64_t numLanes, const uint64_t* seeds,\n"
      << "                        uint64_t maxSteps, double budget,\n"
+     << "                        double deadline, uint64_t stepBudget,\n"
      << "                        unsigned long long* execNs) {\n"
      << "    for (uint64_t l = 0; l < numLanes; ++l) {\n"
      << "      accmos_cur_lane_ = (int)l;\n"
@@ -587,8 +638,23 @@ void Emitter::emitBatchSimLoop(std::ostringstream& os) {
      << "    for (uint64_t step = 0; step < maxSteps && active > 0; "
         "++step) {\n"
      << "      for (uint64_t l = 0; l < numLanes; ++l) {\n"
-     << "        if (bl_done_[l]) continue;\n"
-     << "        accmos_cur_lane_ = (int)l;\n"
+     << "        if (bl_done_[l]) continue;\n";
+  if (faults_.hang.armed) {
+    os << "        // ACCMOS_FAULT hang: the lane wedges — it stays active\n"
+       << "        // but makes no more progress (the deadline sweep below,\n"
+       << "        // or the post-loop spin, retires it as timedOut).\n"
+       << "        if (bl_hung_[l]) continue;\n"
+       << "        if (" << faultCond(faults_.hang, "seeds[l]")
+       << ") { bl_hung_[l] = 1; continue; }\n";
+  }
+  if (faults_.crash.armed) {
+    os << "        // ACCMOS_FAULT crash: takes the whole fused batch down\n"
+       << "        // (one address space) — the host guard catches it and\n"
+       << "        // re-runs the chunk's seeds in contained scalar mode.\n"
+       << "        if (" << faultCond(faults_.crash, "seeds[l]")
+       << ") raise(SIGSEGV);\n";
+  }
+  os << "        accmos_cur_lane_ = (int)l;\n"
      << "        accmos_fill_inputs(step);\n"
      << "        Model_Exe(step);\n"
      << "        bl_steps_[l] = step + 1;\n"
@@ -602,8 +668,30 @@ void Emitter::emitBatchSimLoop(std::ostringstream& os) {
      << "      if (budget > 0.0 && (step & 1023) == 1023 &&\n"
      << "          std::chrono::duration<double>(std::chrono::steady_clock"
         "::now() - t0).count() >= budget) break;\n"
-     << "    }\n"
-     << "    auto t1 = std::chrono::steady_clock::now();\n"
+     << "      // Deadline / step budget: retire every unfinished lane as\n"
+     << "      // timedOut; lanes already done keep their normal results.\n"
+     << "      if ((stepBudget != 0 && step + 1 >= stepBudget &&\n"
+     << "           step + 1 < maxSteps) ||\n"
+     << "          (deadline > 0.0 && (step & 255) == 255 &&\n"
+     << "           accmos_now_s() >= deadline)) {\n"
+     << "        for (uint64_t l = 0; l < numLanes; ++l)\n"
+     << "          if (!bl_done_[l]) { bl_done_[l] = 1; bl_timedout_[l] = 1; "
+        "}\n"
+     << "        active = 0;\n"
+     << "      }\n"
+     << "    }\n";
+  if (faults_.hang.armed) {
+    os << "    // Hung lanes surviving to the end of the loop mirror the\n"
+       << "    // scalar semantics: spin until the deadline (forever when\n"
+       << "    // none) and retire as timedOut.\n"
+       << "    for (uint64_t l = 0; l < numLanes; ++l) {\n"
+       << "      if (bl_done_[l] || !bl_hung_[l]) continue;\n"
+       << "      while (!(deadline > 0.0 && accmos_now_s() >= deadline))\n"
+       << "        accmos_pause_ms(1);\n"
+       << "      bl_done_[l] = 1; bl_timedout_[l] = 1;\n"
+       << "    }\n";
+  }
+  os << "    auto t1 = std::chrono::steady_clock::now();\n"
      << "    *execNs = (unsigned long long)\n"
      << "        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - "
         "t0).count();\n"
@@ -632,15 +720,25 @@ void Emitter::emitBatchAbi(std::ostringstream& os) {
         "return ACCMOS_ABI_EVERSION;\n";
   emitResultChecks(os, "L->", "    ");
   os << "  }\n"
+     << "  double deadline = 0.0;\n"
+     << "  uint64_t stepBudget = 0;\n"
+     << "#if ACCMOS_ABI_VERSION >= 3u\n"
+     << "  deadline = args->deadlineSeconds;\n"
+     << "  stepBudget = args->stepBudget;\n"
+     << "#endif\n"
      << "  accmos_batch* B = new (std::nothrow) accmos_batch();\n"
      << "  if (!B) return ACCMOS_ABI_EALLOC;\n"
      << "  unsigned long long ns = 0;\n"
      << "  B->accmos_batch_sim(args->numLanes, args->seeds, args->maxSteps,\n"
-     << "                      args->timeBudgetSec, &ns);\n"
+     << "                      args->timeBudgetSec, deadline, stepBudget, "
+        "&ns);\n"
+     << "  uint32_t anyTimedOut = 0;\n"
      << "  for (uint64_t l = 0; l < args->numLanes; ++l) {\n"
      << "    AccmosRunResult* L = &res->lanes[l];\n"
      << "    L->stepsExecuted = B->bl_steps_[l];\n"
      << "    L->stoppedEarly = B->bl_stopped_[l];\n"
+     << "    L->timedOut = B->bl_timedout_[l];\n"
+     << "    anyTimedOut |= B->bl_timedout_[l];\n"
      << "    // Lanes run fused, so per-lane wall time is not separable:\n"
      << "    // every lane reports the whole batch's loop time.\n"
      << "    L->execNs = ns;\n";
@@ -649,7 +747,7 @@ void Emitter::emitBatchAbi(std::ostringstream& os) {
       [](const std::string& n) { return "B->bl_" + n + "[l]"; }, "    ");
   os << "  }\n"
      << "  delete B;\n"
-     << "  return ACCMOS_ABI_OK;\n"
+     << "  return anyTimedOut ? ACCMOS_ABI_ETIMEOUT : ACCMOS_ABI_OK;\n"
      << "}\n";
 }
 
@@ -676,6 +774,10 @@ void Emitter::emitBatch(std::ostringstream& os) {
      << "  uint8_t bl_done_[ACCMOS_BATCH_LANES];\n"
      << "  uint64_t bl_steps_[ACCMOS_BATCH_LANES];\n"
      << "  uint32_t bl_stopped_[ACCMOS_BATCH_LANES];\n"
+     << "  uint32_t bl_timedout_[ACCMOS_BATCH_LANES];\n"
+     << (faults_.hang.armed
+             ? "  uint8_t bl_hung_[ACCMOS_BATCH_LANES];\n"
+             : "")
      << "  // ---- model data, one slot per lane -------------------------\n";
   for (const auto& mem : members) {
     os << "  " << mem.type << " bl_" << mem.name << "[ACCMOS_BATCH_LANES]"
@@ -701,19 +803,32 @@ void Emitter::emitMain(std::ostringstream& os) {
      << "  uint64_t maxSteps = " << opt_.maxSteps << "ULL;\n"
      << "  double budget = " << fmtD(opt_.timeBudgetSec) << ";\n"
      << "  uint64_t seed = " << tests_.seed << "ULL;\n"
+     << "  double timeoutSec = 0.0;\n"
+     << "  uint64_t stepBudget = 0;\n"
      << "  if (argc > 1) maxSteps = strtoull(argv[1], 0, 10);\n"
      << "  if (argc > 2) budget = atof(argv[2]);\n"
      << "  if (argc > 3) seed = strtoull(argv[3], 0, 10);\n"
+     << "  if (argc > 4) timeoutSec = atof(argv[4]);\n"
+     << "  if (argc > 5) stepBudget = strtoull(argv[5], 0, 10);\n"
+     << "  // The deadline crosses the process boundary as a RELATIVE\n"
+     << "  // timeout (monotonic epochs differ between processes in\n"
+     << "  // principle) and becomes absolute against our own clock here.\n"
+     << "  double deadline = timeoutSec > 0.0 ? accmos_now_s() + timeoutSec "
+        ": 0.0;\n"
      << "  accmos_model* Mp = new accmos_model();\n"
      << "  accmos_model& M = *Mp;\n"
      << "  int stoppedEarly = 0;\n"
      << "  unsigned long long ns = 0;\n"
+     << "  int timedOut = 0;\n"
      << "  uint64_t step = M.accmos_sim_run(maxSteps, budget, seed, "
-        "&stoppedEarly, &ns);\n"
+        "deadline,\n"
+     << "                                   stepBudget, &stoppedEarly, &ns, "
+        "&timedOut);\n"
      << "  // ---- result protocol ----\n"
      << "  printf(\"ACCMOS_RESULT_BEGIN\\n\");\n"
      << "  printf(\"STEPS %llu\\n\", (unsigned long long)step);\n"
      << "  printf(\"STOPPED_EARLY %d\\n\", stoppedEarly);\n"
+     << "  printf(\"TIMED_OUT %d\\n\", timedOut);\n"
      << "  printf(\"EXEC_NS %llu\\n\", ns);\n";
   if (covPlan_ != nullptr) {
     struct MapInfo {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "actors/spec.h"
+#include "codegen/fault.h"
 #include "cov/coverage.h"
 #include "diag/diagnosis.h"
 #include "sim/options.h"
@@ -124,6 +125,11 @@ class Emitter : public EmitSink {
   TestCaseSpec tests_;
   const CoveragePlan* covPlan_;
   const DiagnosisPlan* diagPlan_;
+  // Deterministic fault injection (ACCMOS_FAULT): hang/crash directives
+  // change the emitted source — and therefore the compile-cache key — so
+  // a faulted build can never leak into a fault-free run. Captured at
+  // construction so one Emitter is internally consistent.
+  FaultPlan faults_;
 
   // Per-actor emission state.
   const FlatActor* current_ = nullptr;

@@ -7,6 +7,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "codegen/fault.h"
+
 namespace accmos {
 
 // The v1 negotiation depends on batchLanes being the first byte past the
@@ -16,10 +18,7 @@ static_assert(offsetof(AccmosModelInfo, batchLanes) == ACCMOS_ABI_INFO_SIZE_V1,
 
 namespace {
 
-bool dlopenForcedToFail() {
-  const char* v = std::getenv("ACCMOS_DLOPEN_FAIL");
-  return v != nullptr && v[0] != '\0' && std::string(v) != "0";
-}
+bool dlopenForcedToFail() { return faultPlanFromEnv().dlopenFail; }
 
 std::string dlerrorText() {
   const char* e = ::dlerror();
@@ -32,7 +31,8 @@ ModelLib::ModelLib(const std::string& path) : path_(path) {
   auto t0 = std::chrono::steady_clock::now();
   if (dlopenForcedToFail()) {
     throw CompileError("dlopen of generated model library " + path +
-                       " disabled by ACCMOS_DLOPEN_FAIL");
+                       " disabled by fault injection (ACCMOS_FAULT=" +
+                       "dlopen-fail / ACCMOS_DLOPEN_FAIL)");
   }
   handle_ = ::dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (handle_ == nullptr) {

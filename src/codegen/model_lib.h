@@ -26,8 +26,8 @@ class ModelLib {
   // it reports abiVersion 1 — it simply has no batch capability. Throws
   // CompileError (carrying the dlerror/description) when the library
   // cannot be loaded, a mandatory symbol is missing, or the library's ABI
-  // version is neither the host's nor 1. The ACCMOS_DLOPEN_FAIL
-  // environment variable (any non-empty value but "0") forces the
+  // version is neither the host's nor 1. The ACCMOS_FAULT=dlopen-fail
+  // directive (or the legacy ACCMOS_DLOPEN_FAIL variable) forces the
   // constructor to throw — a test hook for the subprocess fallback path.
   explicit ModelLib(const std::string& path);
   ~ModelLib();
@@ -42,6 +42,28 @@ class ModelLib {
   // Callers must stamp this — not their own compile-time constant — into
   // AccmosRunArgs/AccmosRunResult so a v1 library's version check passes.
   uint32_t abiVersion() const { return info_.abiVersion; }
+
+  // structSize a caller must stamp into AccmosRunArgs / AccmosBatchRunArgs
+  // for THIS library. v3 appended the deadline/stepBudget fields, so a v3
+  // host talking to an older library must present the smaller pre-v3
+  // layout (which the v1 and v2 size checks accept) — the deadline fields
+  // simply do not travel, and the host-side watchdog is the only deadline
+  // enforcement for such libraries.
+  uint32_t runArgsSize() const {
+    return info_.abiVersion >= 3u ? static_cast<uint32_t>(sizeof(AccmosRunArgs))
+                                  : ACCMOS_ABI_RUN_ARGS_SIZE_V2;
+  }
+  uint32_t batchArgsSize() const {
+    return info_.abiVersion >= 3u
+               ? static_cast<uint32_t>(sizeof(AccmosBatchRunArgs))
+               : ACCMOS_ABI_BATCH_ARGS_SIZE_V2;
+  }
+
+  // True when the library understands ABI v3 deadlines (deadlineSeconds /
+  // stepBudget in the args structs, timedOut in the results). Callers that
+  // need a hard deadline against an older library must route the run to
+  // the subprocess backend, whose watchdog works for any library age.
+  bool supportsDeadlines() const { return info_.abiVersion >= 3u; }
 
   // One simulation run; returns the ABI status code (ACCMOS_ABI_OK on
   // success). Thread-safe: see the reentrancy contract above.

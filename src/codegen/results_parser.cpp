@@ -134,6 +134,10 @@ SimulationResult parseResults(const std::string& output, const FlatModel& fm,
       int v = 0;
       if (!(ls >> v)) fail(lineNo, "malformed STOPPED_EARLY");
       result.stoppedEarly = v != 0;
+    } else if (tag == "TIMED_OUT") {
+      int v = 0;
+      if (!(ls >> v)) fail(lineNo, "malformed TIMED_OUT");
+      result.timedOut = v != 0;
     } else if (tag == "EXEC_NS") {
       uint64_t ns = 0;
       if (!(ls >> ns)) fail(lineNo, "malformed EXEC_NS");
@@ -250,6 +254,7 @@ SimulationResult decodeBinaryResults(
 
   result.stepsExecuted = res.stepsExecuted;
   result.stoppedEarly = res.stoppedEarly != 0;
+  result.timedOut = res.timedOut != 0;
   result.execSeconds = static_cast<double>(res.execNs) * 1e-9;
 
   if (covPlan != nullptr) {

@@ -35,20 +35,31 @@
 #include <stdint.h>
 
 /* Version 2 adds the batched entry point and the batchLanes capability
- * field appended to AccmosModelInfo. ACCMOS_RUN_ABI_FORCE_V1 is a test
- * hook: defining it before this header yields a genuine version-1 build
- * (88-byte info struct, no batch declarations), which is how the fallback
- * tests manufacture a real v1 library rather than simulating one. */
+ * field appended to AccmosModelInfo. Version 3 appends a wall-clock
+ * deadline and a max-step budget to the run-args structs (scalar and
+ * batch) and defines the ETIMEOUT retirement status — AccmosModelInfo is
+ * unchanged from v2. ACCMOS_RUN_ABI_FORCE_V1 is a test hook: defining it
+ * before this header yields a genuine version-1 build (88-byte info
+ * struct, no batch declarations), which is how the fallback tests
+ * manufacture a real v1 library rather than simulating one. */
 #ifdef ACCMOS_RUN_ABI_FORCE_V1
 #define ACCMOS_ABI_VERSION 1u
 #else
-#define ACCMOS_ABI_VERSION 2u
+#define ACCMOS_ABI_VERSION 3u
 #endif
 
 /* sizeof(AccmosModelInfo) in a version-1 build: the negotiation handshake
  * retries accmos_model_info with this size when the full-size query is
- * rejected, so v2 hosts can still load v1 libraries. */
+ * rejected, so v3 hosts can still load v1 libraries. */
 #define ACCMOS_ABI_INFO_SIZE_V1 88u
+
+/* sizeof(AccmosRunArgs) / sizeof(AccmosBatchRunArgs) before v3 appended
+ * the deadline fields. A library's accmos_run checks structSize against
+ * ITS OWN sizeof, so a v3 host calling into an older library must stamp
+ * the older, smaller size (the leading layout is unchanged — v3 only
+ * appends). The v1 scalar args layout is identical to v2's. */
+#define ACCMOS_ABI_RUN_ARGS_SIZE_V2 32u
+#define ACCMOS_ABI_BATCH_ARGS_SIZE_V2 40u
 
 /* accmos_run / accmos_model_info return codes. */
 enum {
@@ -58,6 +69,9 @@ enum {
   ACCMOS_ABI_EBUFFER = 3,  /* a caller buffer is missing or mis-sized */
   ACCMOS_ABI_EALLOC = 4,   /* model-state allocation failed */
   ACCMOS_ABI_EBATCH = 5,   /* bad batch geometry (lane count, lane array) */
+  ACCMOS_ABI_ETIMEOUT = 6, /* run retired by deadline / step budget (v3);
+                            * result fields up to the retirement point are
+                            * valid and timedOut is set */
 };
 
 /* Coverage bitmap order, everywhere a [4] appears below. Matches the host's
@@ -99,6 +113,19 @@ typedef struct AccmosRunArgs {
   uint64_t maxSteps;
   double timeBudgetSec; /* <= 0 = unlimited */
   uint64_t seed;
+#if ACCMOS_ABI_VERSION >= 3u
+  /* Fault-containment limits (v3). deadlineSeconds is an ABSOLUTE point
+   * on the monotonic clock, expressed as seconds since its epoch
+   * (std::chrono::steady_clock on the host; the generated code reads the
+   * same clock) — 0 means no deadline. The step loop polls it every K
+   * steps (amortized) and retires the run with ACCMOS_ABI_ETIMEOUT when
+   * it passes. stepBudget caps total executed steps independently of
+   * maxSteps (0 = no budget); exceeding it also retires with ETIMEOUT.
+   * Unlike timeBudgetSec (a normal early-stop that yields a successful
+   * result), these mark the result timedOut — a containment event. */
+  double deadlineSeconds;
+  uint64_t stepBudget;
+#endif
 } AccmosRunArgs;
 
 /* One aggregated diagnostic event: mirrors a "DIAG actor kind first count"
@@ -124,7 +151,9 @@ typedef struct AccmosRunResult {
   /* ---- outputs ---- */
   uint64_t stepsExecuted;
   uint32_t stoppedEarly;
-  uint32_t reserved0;
+  uint32_t timedOut; /* run was retired by deadline/stepBudget (v3 sets
+                      * this; pre-v3 libraries wrote 0 here — the field
+                      * was reserved0, so the layout is unchanged) */
   uint64_t execNs;
 
   /* Coverage bitmaps, one raw 0/1 byte per slot. cov[m] may be null when
@@ -168,6 +197,14 @@ typedef struct AccmosBatchRunArgs {
   uint64_t maxSteps;
   double timeBudgetSec;  /* <= 0 = unlimited; applies to the whole batch */
   const uint64_t* seeds; /* numLanes entries */
+#if ACCMOS_ABI_VERSION >= 3u
+  /* Same semantics as the scalar fields (see AccmosRunArgs). The deadline
+   * applies to the whole fused batch: when it passes, every lane not yet
+   * retired is marked timedOut and the call returns ETIMEOUT (lanes that
+   * already finished keep their normal results). */
+  double deadlineSeconds;
+  uint64_t stepBudget;
+#endif
 } AccmosBatchRunArgs;
 
 /* Batch results are an array of per-lane scalar result blocks: lane l's

@@ -9,10 +9,12 @@ std::string_view runtimePreamble() {
 // edit by hand.
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <new>
 
 struct accmos_wrapres { int64_t value; int wrapped; int prec; };
@@ -214,6 +216,25 @@ static inline uint64_t accmos_portseed(uint64_t runSeed, int portIndex) {
   uint64_t state = runSeed ^ (0xA24BAED4963EE407ULL +
                               (uint64_t)portIndex * 0x9FB21C651E98DF25ULL);
   return accmos_sm64_next(&state);
+}
+
+// Deadline clock: absolute seconds on the SAME monotonic clock the host
+// reads (std::chrono::steady_clock), so an AccmosRunArgs::deadlineSeconds
+// computed host-side compares directly in the generated step loop.
+static inline double accmos_now_s(void) {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Cooperative pause used by injected hangs (ACCMOS_FAULT=hang...): spin
+// politely so a hung run burns ~no CPU while it waits for its deadline
+// (or, with no deadline, for the host watchdog to kill it).
+static inline void accmos_pause_ms(int ms) {
+  struct timespec ts;
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = (long)(ms % 1000) * 1000000L;
+  nanosleep(&ts, 0);
 }
 
 // Binary-ABI value packing: floats travel as their IEEE-754 double bit

@@ -126,8 +126,20 @@ GenResult runGeneration(const FlatModel& fm, const SimOptions& opt,
     // for the determinism contract (worker count must not matter) and for
     // the invariant that replaying the corpus reproduces mergedBitmaps.
     size_t accepted = 0;
+    size_t failed = 0;
     for (size_t k = 0; k < cands.size(); ++k) {
       const SimulationResult& res = results[k];
+      if (res.failed) {
+        // Contained failure: record and reject. The candidate's bitmaps
+        // are empty, so this branch only makes the rejection explicit
+        // (and bookkept) rather than accidental.
+        RunFailure f = res.failure;
+        f.seed = specs[k].seed;
+        f.index = out.evaluations - specs.size() + k;
+        out.failures.push_back(std::move(f));
+        ++failed;
+        continue;
+      }
       size_t newBits = countNewBits(res.bitmaps, out.mergedBitmaps, metrics);
       std::vector<std::pair<int, DiagKind>> newPairs;
       if (gopt.keepDiagFinders) {
@@ -160,6 +172,7 @@ GenResult runGeneration(const FlatModel& fm, const SimOptions& opt,
     it.iteration = iteration;
     it.evaluated = specs.size();
     it.accepted = accepted;
+    it.failed = failed;
     it.corpusSize = out.corpus.size();
     it.diagKinds = diagSeen.size();
     it.cumulative = makeReport(plan, out.mergedBitmaps);

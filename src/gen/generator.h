@@ -48,6 +48,7 @@ struct GenIteration {
   size_t iteration = 0;   // 0 = bootstrap round
   size_t evaluated = 0;   // candidates evaluated in this iteration
   size_t accepted = 0;
+  size_t failed = 0;      // candidates whose run was contained as a failure
   size_t corpusSize = 0;  // after this iteration
   size_t diagKinds = 0;   // distinct (actor, kind) pairs after this iteration
   CoverageReport cumulative;
@@ -68,6 +69,12 @@ struct GenResult {
   double wallSeconds = 0.0;
   OptStats optStats;
   size_t enginesBuilt = 0;  // AccMoS: distinct stimulus shapes compiled
+  // Contained per-candidate failures (timeouts, crashes, compile
+  // failures), in evaluation order; RunFailure::index is the global
+  // candidate index. A faulting candidate is simply never accepted — the
+  // search carries on, and the determinism contract still holds as long
+  // as the faults themselves are deterministic (which injected ones are).
+  std::vector<RunFailure> failures;
 };
 
 // Runs the feedback loop on `fm` for gopt.budget candidate evaluations of

@@ -9,6 +9,7 @@
 
 #include "actors/spec.h"
 #include "codegen/accmos_engine.h"
+#include "codegen/compiler_driver.h"
 #include "interp/interpreter.h"
 #include "opt/pipeline.h"
 
@@ -46,6 +47,18 @@ void checkInstrumentedEngine(const SimOptions& opt) {
   if (!opt.coverage) {
     throw ModelError("test campaigns accumulate coverage; enable it");
   }
+}
+
+// Contained stand-in for a spec whose simulator never built: the whole
+// shape failed to compile, so every spec of that shape gets this failure.
+SimulationResult compileFailedResult(uint64_t seed, const std::string& msg) {
+  SimulationResult r;
+  r.failed = true;
+  r.failure.kind = FailureKind::CompileError;
+  r.failure.seed = seed;
+  r.failure.backend = "compile";
+  r.failure.message = msg;
+  return r;
 }
 
 }  // namespace
@@ -101,11 +114,31 @@ std::vector<SimulationResult> SpecEvaluator::evaluate(
 
   // AccMoS: build (or reuse) the per-shape engines serially before the
   // fan-out — compilation already parallelizes poorly and the serial order
-  // keeps construction bookkeeping deterministic.
+  // keeps construction bookkeeping deterministic. A shape whose simulator
+  // cannot be compiled does not abort the batch: every spec of that shape
+  // is marked with the compile failure (engineOf == nullptr) and reported
+  // as a contained CompileError result; other shapes run normally.
   std::vector<AccMoSEngine*> engineOf;
+  std::vector<std::string> buildError(specs.size());
   if (opt_.engine == Engine::AccMoS) {
     engineOf.reserve(specs.size());
-    for (const auto& spec : specs) engineOf.push_back(engineFor(spec));
+    std::map<std::string, std::string> failedShapes;
+    for (size_t k = 0; k < specs.size(); ++k) {
+      const std::string key = specs[k].shapeKey();
+      auto fit = failedShapes.find(key);
+      if (fit != failedShapes.end()) {
+        engineOf.push_back(nullptr);
+        buildError[k] = fit->second;
+        continue;
+      }
+      try {
+        engineOf.push_back(engineFor(specs[k]));
+      } catch (const CompileError& e) {
+        failedShapes.emplace(key, e.what());
+        engineOf.push_back(nullptr);
+        buildError[k] = e.what();
+      }
+    }
   }
 
   size_t workers = resolveWorkers(opt_, specs.size());
@@ -129,18 +162,26 @@ std::vector<SimulationResult> SpecEvaluator::evaluate(
           if (!interp) interp = std::make_unique<Interpreter>(fm_, opt_);
           for (size_t k = k0; k < k1; ++k) out[k] = interp->run(specs[k]);
         } else {
-          // Group consecutive same-engine specs into one runBatch call;
-          // the engine chunks further to its lane width and falls back to
-          // scalar runs when the library cannot batch.
+          // Group consecutive same-engine specs into one contained batch
+          // call; the engine chunks further to its lane width and falls
+          // back to scalar runs when the library cannot batch. Contained
+          // execution never throws for per-run faults — a hung or crashed
+          // seed comes back as a failed result and its neighbours are
+          // unaffected.
           size_t g0 = k0;
           while (g0 < k1) {
+            if (engineOf[g0] == nullptr) {
+              out[g0] = compileFailedResult(specs[g0].seed, buildError[g0]);
+              ++g0;
+              continue;
+            }
             size_t g1 = g0 + 1;
             while (g1 < k1 && engineOf[g1] == engineOf[g0]) ++g1;
             std::vector<uint64_t> seeds;
             seeds.reserve(g1 - g0);
             for (size_t k = g0; k < g1; ++k) seeds.push_back(specs[k].seed);
             std::vector<SimulationResult> rs =
-                engineOf[g0]->runBatch(seeds, 0, -1.0);
+                engineOf[g0]->runBatchContained(seeds, 0, -1.0);
             for (size_t k = g0; k < g1; ++k) out[k] = std::move(rs[k - g0]);
             g0 = g1;
           }
@@ -210,6 +251,22 @@ CampaignResult runCampaignSpecs(const FlatModel& fm, const SimOptions& opt,
   out.perSeed.reserve(specs.size());
   for (size_t k = 0; k < specs.size(); ++k) {
     const SimulationResult& res = results[k];
+    if (res.failed) {
+      // Contained failure: record it, contribute nothing to the merge.
+      // Survivor contributions stay bit-identical to a fault-free
+      // campaign over the survivors because the merge below is strictly
+      // spec-ordered and a skipped seed leaves no trace in the bitmaps.
+      RunFailure f = res.failure;
+      f.seed = specs[k].seed;
+      f.index = k;
+      out.failures.push_back(std::move(f));
+      CampaignSeedResult sr;
+      sr.seed = specs[k].seed;
+      sr.failed = true;
+      sr.cumulative = makeReport(plan, out.mergedBitmaps);
+      out.perSeed.push_back(std::move(sr));
+      continue;
+    }
     out.mergedBitmaps.merge(res.bitmaps);
     mergeDiagnostics(merged, res.diagnostics);
     out.totalExecSeconds += res.execSeconds;

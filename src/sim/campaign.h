@@ -27,6 +27,7 @@
 
 #include "graph/flat_model.h"
 #include "opt/stats.h"
+#include "sim/failure.h"
 #include "sim/options.h"
 #include "sim/result.h"
 #include "sim/testcase.h"
@@ -40,6 +41,11 @@ struct CampaignSeedResult {
   CoverageReport coverage;          // this seed alone
   CoverageReport cumulative;        // union up to and including this seed
   size_t diagnosticKinds = 0;       // distinct (actor, kind) events
+  // This seed's run was contained as a failure (timeout, crash, compile
+  // failure): it contributed nothing to the merge, and the matching
+  // RunFailure sits in CampaignResult::failures. The row is kept so
+  // perSeed[k] always describes specs[k].
+  bool failed = false;
 };
 
 struct CampaignResult {
@@ -56,6 +62,12 @@ struct CampaignResult {
   double loadSeconds = 0.0;           // AccMoS dlopen mode: library loads
   bool compileCacheHit = false;       // AccMoS: every binary came cached
   size_t workersUsed = 1;
+  // Contained per-seed failures, in seed (spec) order. A campaign never
+  // aborts because one seed hung or crashed: the failed seed is recorded
+  // here, excluded from the coverage/diagnostic merge, and every surviving
+  // seed's contribution is bit-identical to a fault-free campaign over the
+  // survivors — for any worker count and any lane width.
+  std::vector<RunFailure> failures;
   // The optimization pipeline runs once per campaign (not per seed);
   // ran == false when SimOptions::optimize was off.
   OptStats optStats;

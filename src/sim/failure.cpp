@@ -1,0 +1,31 @@
+#include "sim/failure.h"
+
+#include <sstream>
+
+namespace accmos {
+
+const char* failureKindName(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::Timeout:
+      return "Timeout";
+    case FailureKind::Crash:
+      return "Crash";
+    case FailureKind::CompileError:
+      return "CompileError";
+    case FailureKind::AbiMismatch:
+      return "AbiMismatch";
+  }
+  return "Unknown";
+}
+
+std::string RunFailure::summary() const {
+  std::ostringstream os;
+  os << "seed " << seed << ": " << failureKindName(kind);
+  if (signal != 0) os << " (signal " << signal << ")";
+  if (!backend.empty()) os << " on " << backend;
+  os << " after " << retries << (retries == 1 ? " retry" : " retries");
+  if (!message.empty()) os << " — " << message;
+  return os.str();
+}
+
+}  // namespace accmos

@@ -12,6 +12,7 @@
 #include "diag/diagnosis.h"
 #include "ir/value.h"
 #include "opt/stats.h"
+#include "sim/failure.h"
 
 namespace accmos {
 
@@ -25,6 +26,18 @@ struct CollectedSignal {
 struct SimulationResult {
   uint64_t stepsExecuted = 0;
   bool stoppedEarly = false;  // StopSimulation actor or stop-on-diagnostic
+
+  // Run retired by its wall-clock deadline (SimOptions::runTimeoutSec) or
+  // step budget (SimOptions::stepBudget) instead of reaching maxSteps.
+  // Observations up to the retirement point are valid.
+  bool timedOut = false;
+
+  // Containment record: set by the fault-contained execution paths
+  // (campaigns, the generator) instead of throwing, so one bad seed cannot
+  // abort a whole campaign. When failed is true the rest of the result
+  // carries no observations and `failure` says what happened.
+  bool failed = false;
+  RunFailure failure;
 
   // Wall-clock split. For in-process engines only execSeconds is set; the
   // AccMoS path also reports generation and compilation time, and — in

@@ -28,6 +28,19 @@
 //   --batch-lanes=N                    fused batch-kernel lane width for
 //                                      multi-seed runs; 0 = scalar only
 //                                      (default 8; also: env ACCMOS_BATCH)
+//   --timeout=SECONDS                  per-run wall-clock deadline: the
+//                                      generated code retires the run
+//                                      cooperatively, the process backend
+//                                      adds a kill-on-expiry watchdog
+//   --step-budget=N                    retire a run after N steps even if
+//                                      --steps asked for more
+//
+// Exit codes (docs/ROBUSTNESS.md):
+//   0  success            1  internal error        2  usage error
+//   3  run finished with diagnostics               4  model load/parse error
+//   5  generated-code compile error                6  generated model crashed
+//   7  run timed out (deadline or step budget)
+//   8  campaign/testgen completed but contained per-seed failures
 //
 // gen --budget options (testgen mode; presence of --budget selects it):
 //   --budget=N           candidate evaluations (the search budget)
@@ -42,6 +55,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -49,10 +63,12 @@
 #include "bench_models/sample_overflow.h"
 #include "bench_models/suite.h"
 #include "codegen/accmos_engine.h"
+#include "codegen/compiler_driver.h"
 #include "gen/generator.h"
 #include "opt/pipeline.h"
 #include "parser/model_io.h"
 #include "sim/campaign.h"
+#include "sim/failure.h"
 #include "sim/simulator.h"
 
 namespace accmos::cli {
@@ -76,11 +92,16 @@ int usage() {
                "             [--no-coverage] [--no-diagnosis] "
                "[--stop-on-diagnostic] [--opt=-O3] [--no-opt] "
                "[--exec-mode=dlopen|process] [--batch-lanes=N] "
-               "[--show-uncovered]\n"
+               "[--timeout=SEC] [--step-budget=N] [--show-uncovered]\n"
                "  accmos campaign <model.xml> [--seeds=N] [--steps=M] "
                "[--engine=accmos|sse] [--workers=W] [--batch-lanes=N] "
-               "[--no-opt] [--exec-mode=dlopen|process] [--show-uncovered]\n"
-               "  accmos export-suite <directory>\n");
+               "[--no-opt] [--exec-mode=dlopen|process] [--timeout=SEC] "
+               "[--step-budget=N] [--show-uncovered]\n"
+               "  accmos export-suite <directory>\n"
+               "exit codes: 0 ok, 1 internal, 2 usage, 3 diagnostics, "
+               "4 model-load, 5 compile,\n"
+               "            6 crash, 7 timeout, 8 campaign with contained "
+               "failures\n");
   return 2;
 }
 
@@ -89,6 +110,35 @@ bool flagValue(const std::string& arg, const char* name, std::string* out) {
   if (arg.rfind(prefix, 0) != 0) return false;
   *out = arg.substr(prefix.size());
   return true;
+}
+
+// Model loading wrapped so mainImpl can give load/parse problems their own
+// exit code (4) — distinct from compile (5) and runtime (6/7) failures,
+// which can only happen after the model demonstrably loaded.
+LoadedModel loadModelCli(const std::string& path) {
+  try {
+    return loadModelFromFile(path);
+  } catch (const ModelLoadError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw ModelLoadError("cannot load model " + path + ": " + e.what());
+  }
+}
+
+std::unique_ptr<Model> readModelCli(const std::string& path) {
+  try {
+    return readModelFromFile(path);
+  } catch (const ModelLoadError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw ModelLoadError("cannot load model " + path + ": " + e.what());
+  }
+}
+
+void printFailures(const std::vector<RunFailure>& failures) {
+  for (const auto& f : failures) {
+    std::printf("failure  : %s\n", f.summary().c_str());
+  }
 }
 
 // --exec-mode=dlopen|process; returns false (after printing) on a bad value.
@@ -129,7 +179,7 @@ void printUncovered(const FlatModel& fm, const SimOptions& opt,
 }
 
 int cmdInfo(const std::string& path) {
-  auto model = readModelFromFile(path);
+  auto model = readModelCli(path);
   Simulator sim(*model);
   const FlatModel& fm = sim.flatModel();
   std::printf("model        : %s\n", model->name().c_str());
@@ -161,7 +211,7 @@ int cmdInfo(const std::string& path) {
 }
 
 int cmdGen(const std::string& path, const std::string& outPath) {
-  auto model = readModelFromFile(path);
+  auto model = readModelCli(path);
   Simulator sim(*model);
   SimOptions opt;
   opt.engine = Engine::AccMoS;
@@ -224,6 +274,10 @@ int cmdTestGen(const std::string& path,
       opt.batchLanes = std::strtoull(v.c_str(), nullptr, 10);
     } else if (flagValue(arg, "--exec-mode", &v)) {
       if (!parseExecMode(v, &opt)) return 2;
+    } else if (flagValue(arg, "--timeout", &v)) {
+      opt.runTimeoutSec = std::strtod(v.c_str(), nullptr);
+    } else if (flagValue(arg, "--step-budget", &v)) {
+      opt.stepBudget = std::strtoull(v.c_str(), nullptr, 10);
     } else if (arg == "--no-opt") {
       opt.optimize = false;
     } else if (arg == "--show-uncovered") {
@@ -234,7 +288,7 @@ int cmdTestGen(const std::string& path,
     }
   }
 
-  LoadedModel loaded = loadModelFromFile(path);
+  LoadedModel loaded = loadModelCli(path);
   if (loaded.stimulus) gopt.base = *loaded.stimulus;
   Simulator sim(*loaded.model);
   gen::GenResult gr = gen::runGeneration(sim.flatModel(), opt, gopt);
@@ -261,6 +315,7 @@ int cmdTestGen(const std::string& path,
   std::printf("corpus   : %zu case(s) kept of %zu evaluated, %zu distinct "
               "diagnostic kind(s)\n",
               gr.corpus.size(), gr.evaluations, gr.diagKinds);
+  printFailures(gr.failures);
   if (gr.enginesBuilt > 0) {
     std::printf("codegen  : %zu distinct stimulus shape(s) compiled\n",
                 gr.enginesBuilt);
@@ -277,7 +332,7 @@ int cmdTestGen(const std::string& path,
                   u.actorPath.c_str(), u.outcome.c_str());
     }
   }
-  return 0;
+  return gr.failures.empty() ? 0 : 8;
 }
 
 int cmdRun(const std::string& path, const std::vector<std::string>& args) {
@@ -313,6 +368,10 @@ int cmdRun(const std::string& path, const std::vector<std::string>& args) {
       opt.batchLanes = std::strtoull(v.c_str(), nullptr, 10);
     } else if (flagValue(arg, "--exec-mode", &v)) {
       if (!parseExecMode(v, &opt)) return 2;
+    } else if (flagValue(arg, "--timeout", &v)) {
+      opt.runTimeoutSec = std::strtod(v.c_str(), nullptr);
+    } else if (flagValue(arg, "--step-budget", &v)) {
+      opt.stepBudget = std::strtoull(v.c_str(), nullptr, 10);
     } else if (arg == "--no-coverage") {
       opt.coverage = false;
     } else if (arg == "--no-diagnosis") {
@@ -333,7 +392,7 @@ int cmdRun(const std::string& path, const std::vector<std::string>& args) {
     opt.diagnosis = false;
   }
 
-  LoadedModel loaded = loadModelFromFile(path);
+  LoadedModel loaded = loadModelCli(path);
   // An embedded <stimulus> is the default; --tests/--seed override it.
   bool explicitTests = false;
   for (const auto& arg : args) {
@@ -347,9 +406,10 @@ int cmdRun(const std::string& path, const std::vector<std::string>& args) {
   std::printf("engine   : %s\n",
               std::string(engineName(opt.engine)).c_str());
   std::printf("optimize : %s\n", res.optStats.summary().c_str());
-  std::printf("steps    : %llu%s\n",
+  std::printf("steps    : %llu%s%s\n",
               static_cast<unsigned long long>(res.stepsExecuted),
-              res.stoppedEarly ? " (stopped early)" : "");
+              res.stoppedEarly ? " (stopped early)" : "",
+              res.timedOut ? " (timed out: deadline/step budget)" : "");
   std::printf("exec     : %.4fs (%.1f ns/step)\n", res.execSeconds,
               res.stepsExecuted > 0
                   ? 1e9 * res.execSeconds /
@@ -394,6 +454,10 @@ int cmdRun(const std::string& path, const std::vector<std::string>& args) {
     }
     printUncovered(sim.flatModel(), opt, res.bitmaps);
   }
+  // A retired (timed-out) run outranks "finished with diagnostics": its
+  // observations stop at the retirement point, so they are not the full
+  // story the diagnostics exit code promises.
+  if (res.timedOut) return 7;
   return res.diagnostics.empty() ? 0 : 3;
 }
 
@@ -423,6 +487,10 @@ int cmdCampaign(const std::string& path,
       }
     } else if (flagValue(arg, "--exec-mode", &v)) {
       if (!parseExecMode(v, &opt)) return 2;
+    } else if (flagValue(arg, "--timeout", &v)) {
+      opt.runTimeoutSec = std::strtod(v.c_str(), nullptr);
+    } else if (flagValue(arg, "--step-budget", &v)) {
+      opt.stepBudget = std::strtoull(v.c_str(), nullptr, 10);
     } else if (arg == "--no-opt") {
       opt.optimize = false;
     } else if (arg == "--show-uncovered") {
@@ -432,7 +500,7 @@ int cmdCampaign(const std::string& path,
       return 2;
     }
   }
-  LoadedModel loaded = loadModelFromFile(path);
+  LoadedModel loaded = loadModelCli(path);
   TestCaseSpec base = loaded.stimulus.value_or(TestCaseSpec{});
   Simulator sim(*loaded.model);
   std::vector<uint64_t> seeds;
@@ -446,12 +514,13 @@ int cmdCampaign(const std::string& path,
   std::printf("%-10s %8s %8s %8s %8s   (cumulative)\n", "seed", "actor",
               "cond", "dec", "mcdc");
   for (const auto& sr : cr.perSeed) {
-    std::printf("%-10llu %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+    std::printf("%-10llu %7.1f%% %7.1f%% %7.1f%% %7.1f%%%s\n",
                 static_cast<unsigned long long>(sr.seed),
                 sr.cumulative.of(CovMetric::Actor).percent(),
                 sr.cumulative.of(CovMetric::Condition).percent(),
                 sr.cumulative.of(CovMetric::Decision).percent(),
-                sr.cumulative.of(CovMetric::MCDC).percent());
+                sr.cumulative.of(CovMetric::MCDC).percent(),
+                sr.failed ? "   FAILED" : "");
   }
   std::printf("exec     : %.3fs total, %.3fs wall", cr.totalExecSeconds,
               cr.wallSeconds);
@@ -470,8 +539,11 @@ int cmdCampaign(const std::string& path,
                 static_cast<unsigned long long>(d.firstStep),
                 static_cast<unsigned long long>(d.count));
   }
+  printFailures(cr.failures);
   if (showUncovered) printUncovered(sim.flatModel(), opt, cr.mergedBitmaps);
-  return 0;
+  // The campaign itself completed — per-seed faults were contained — but
+  // the merged result is missing the failed seeds' contributions.
+  return cr.failures.empty() ? 0 : 8;
 }
 
 int cmdExportSuite(const std::string& dir) {
@@ -522,6 +594,18 @@ int mainImpl(int argc, char** argv) {
       return cmdCampaign(argv[2], args);
     }
     if (cmd == "export-suite" && argc == 3) return cmdExportSuite(argv[2]);
+  } catch (const ModelLoadError& e) {
+    std::fprintf(stderr, "accmos: %s\n", e.what());
+    return 4;
+  } catch (const SimTimeoutError& e) {
+    std::fprintf(stderr, "accmos: %s\n", e.what());
+    return 7;
+  } catch (const SimCrashError& e) {
+    std::fprintf(stderr, "accmos: %s\n", e.what());
+    return 6;
+  } catch (const CompileError& e) {
+    std::fprintf(stderr, "accmos: %s\n", e.what());
+    return 5;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "accmos: %s\n", e.what());
     return 1;
