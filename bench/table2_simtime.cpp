@@ -91,6 +91,9 @@ int main() {
           .num("speedup_vs_sserac", rac.execSeconds / acc[m].execSeconds)
           .num("generate_s", genSeconds)
           .num("compile_s", compileSeconds)
+          // Synchronous engine build: the run blocks for the whole compile.
+          // Tiered campaigns overlap it — see BENCH_tiering.json.
+          .num("compile_wait_s", compileSeconds)
           .flag("compile_cache_hit", cacheHit);
     }
   }

@@ -35,12 +35,12 @@ double steadyNowSeconds() {
 
 }  // namespace
 
-AccMoSEngine::AccMoSEngine(const FlatModel& fm, const SimOptions& opt,
-                           const TestCaseSpec& tests)
-    : fm_(fm), opt_(opt), tests_(tests) {
-  validateFlatModel(fm_);
-  tests_.validate();  // the emitter bakes the stimulus into generated code
-  for (const auto& cd : opt_.customDiagnostics) {
+GeneratedModel AccMoSEngine::generate(const FlatModel& fm,
+                                      const SimOptions& opt,
+                                      const TestCaseSpec& tests) {
+  validateFlatModel(fm);
+  tests.validate();  // the emitter bakes the stimulus into generated code
+  for (const auto& cd : opt.customDiagnostics) {
     if (cd.kind == CustomDiagnostic::Kind::Expression &&
         cd.cppCondition.empty()) {
       throw ModelError(
@@ -48,30 +48,63 @@ AccMoSEngine::AccMoSEngine(const FlatModel& fm, const SimOptions& opt,
           "': Expression diagnostics need a cppCondition for the AccMoS "
           "engine (callbacks cannot be compiled into generated code)");
     }
-    if (fm_.findByPath(cd.actorPath) == nullptr) {
+    if (fm.findByPath(cd.actorPath) == nullptr) {
       throw ModelError("custom diagnostic '" + cd.name +
                        "' references unknown actor path '" + cd.actorPath +
                        "'");
     }
   }
-  if (opt_.coverage) {
-    covPlan_ = CoveragePlan::build(
-        fm_, [](const FlatActor& fa) { return covTraitsFor(fa); });
+  GeneratedModel gen;
+  if (opt.coverage) {
+    gen.covPlan = CoveragePlan::build(
+        fm, [](const FlatActor& fa) { return covTraitsFor(fa); });
   }
-  if (opt_.diagnosis) {
-    diagPlan_ = DiagnosisPlan::build(fm_, [&](const FlatActor& fa) {
-      return diagKindsFor(fm_, fa);
-    });
+  if (opt.diagnosis) {
+    gen.diagPlan = DiagnosisPlan::build(
+        fm, [&](const FlatActor& fa) { return diagKindsFor(fm, fa); });
   }
 
   auto t0 = std::chrono::steady_clock::now();
-  Emitter emitter(fm_, opt_, tests_, opt_.coverage ? &covPlan_ : nullptr,
-                  opt_.diagnosis ? &diagPlan_ : nullptr);
-  source_ = emitter.generate();
-  collectSignals_ = emitter.collectSignals();
+  Emitter emitter(fm, opt, tests, opt.coverage ? &gen.covPlan : nullptr,
+                  opt.diagnosis ? &gen.diagPlan : nullptr);
+  gen.source = emitter.generate();
+  gen.collectSignals = emitter.collectSignals();
   auto t1 = std::chrono::steady_clock::now();
-  generateSeconds_ = std::chrono::duration<double>(t1 - t0).count();
+  gen.generateSeconds = std::chrono::duration<double>(t1 - t0).count();
+  return gen;
+}
 
+ArtifactKind AccMoSEngine::artifactPlan(const SimOptions& opt,
+                                        std::string* extraFlags) {
+  if (extraFlags != nullptr) extraFlags->clear();
+  if (opt.execMode == ExecMode::Dlopen) {
+    // The batch kernel is compiled in via -DACCMOS_BATCH_LANES=N, not by
+    // changing the generated source, so the flag must be part of the
+    // compile-cache identity (CompilerDriver::cacheKey hashes extraFlags):
+    // a cached batchless artifact is never served to a batch-requesting
+    // engine, and vice versa.
+    if (opt.batchLanes > 0 && extraFlags != nullptr) {
+      *extraFlags = "-DACCMOS_BATCH_LANES=" + std::to_string(opt.batchLanes);
+    }
+    return ArtifactKind::SharedLib;
+  }
+  return ArtifactKind::Executable;
+}
+
+AccMoSEngine::AccMoSEngine(const FlatModel& fm, const SimOptions& opt,
+                           const TestCaseSpec& tests)
+    : AccMoSEngine(fm, opt, tests, generate(fm, opt, tests)) {}
+
+AccMoSEngine::AccMoSEngine(const FlatModel& fm, const SimOptions& opt,
+                           const TestCaseSpec& tests, GeneratedModel&& gen)
+    : fm_(fm),
+      opt_(opt),
+      tests_(tests),
+      covPlan_(std::move(gen.covPlan)),
+      diagPlan_(std::move(gen.diagPlan)),
+      collectSignals_(std::move(gen.collectSignals)),
+      source_(std::move(gen.source)),
+      generateSeconds_(gen.generateSeconds) {
   driver_ = std::make_unique<CompilerDriver>(opt_.workDir);
   driver_->setKeep(opt_.keepGeneratedCode || !opt_.workDir.empty());
   driver_->setCacheEnabled(opt_.compileCache);
@@ -80,24 +113,16 @@ AccMoSEngine::AccMoSEngine(const FlatModel& fm, const SimOptions& opt,
     // Compile as a shared library and load it in-process. Any failure —
     // compiler without -shared/-fPIC support, a dlopen error, a library
     // with the wrong ABI — degrades to the subprocess backend rather than
-    // failing the engine.
-    //
-    // The batch kernel is compiled in via -DACCMOS_BATCH_LANES=N, not by
-    // changing the generated source, so the flag must be part of the
-    // compile-cache identity (CompilerDriver::cacheKey hashes extraFlags):
-    // a cached batchless artifact is never served to a batch-requesting
-    // engine, and vice versa.
+    // failing the engine. artifactPlan() decides kind + extra flags so an
+    // async pre-compile (TieredEngine) targets the identical cache entry.
     std::string extraFlags;
-    if (opt_.batchLanes > 0) {
-      extraFlags =
-          "-DACCMOS_BATCH_LANES=" + std::to_string(opt_.batchLanes);
-    }
+    ArtifactKind kind = artifactPlan(opt_, &extraFlags);
     try {
-      auto compiled =
-          driver_->compile(source_, "model_" + fm_.modelName, opt_.optFlag,
-                           ArtifactKind::SharedLib, extraFlags);
+      auto compiled = driver_->compile(source_, "model_" + fm_.modelName,
+                                       opt_.optFlag, kind, extraFlags);
       compileSeconds_ = compiled.seconds;
       compileCacheHit_ = compiled.cacheHit;
+      artifactKeepAlive_ = compiled.keepAlive;
       // dlopen a private per-engine copy, never the shared cache entry
       // directly: the dynamic linker dedups loads by pathname and inode,
       // so dlopening a cache path that an earlier engine already mapped
@@ -160,6 +185,7 @@ AccMoSEngine::AccMoSEngine(const FlatModel& fm, const SimOptions& opt,
                                    opt_.optFlag, ArtifactKind::Executable);
   compileSeconds_ += compiled.seconds;
   compileCacheHit_ = compiled.cacheHit;
+  artifactKeepAlive_ = compiled.keepAlive;
   exePath_ = compiled.exePath;
   processExePath_ = compiled.exePath;
   execModeUsed_ = ExecMode::Process;

@@ -28,6 +28,22 @@
 
 namespace accmos {
 
+enum class ArtifactKind : uint8_t;
+
+// The emit phase of the pipeline, detached from compilation: everything
+// AccMoSEngine derives from (model, options, stimulus) before the compiler
+// runs. Produced by AccMoSEngine::generate() and movable into an engine
+// later, so a caller (the tiered engine) can emit once, start the compile
+// asynchronously, and construct the engine when the binary is ready
+// without re-emitting.
+struct GeneratedModel {
+  CoveragePlan covPlan;
+  DiagnosisPlan diagPlan;
+  std::vector<int> collectSignals;
+  std::string source;
+  double generateSeconds = 0.0;
+};
+
 class AccMoSEngine {
  public:
   // Builds the plans and generates + compiles the simulation program once;
@@ -35,6 +51,26 @@ class AccMoSEngine {
   // mirroring how a generated simulator is reused across test campaigns.
   AccMoSEngine(const FlatModel& fm, const SimOptions& opt,
                const TestCaseSpec& tests);
+
+  // Same, from an already-emitted GeneratedModel (skips the emit phase).
+  // `gen` must come from generate() with the same (fm, opt, tests).
+  AccMoSEngine(const FlatModel& fm, const SimOptions& opt,
+               const TestCaseSpec& tests, GeneratedModel&& gen);
+
+  // Validates the model/spec/options and runs the emitter — the pure
+  // front half of the constructor. Throws ModelError exactly where the
+  // constructor would.
+  static GeneratedModel generate(const FlatModel& fm, const SimOptions& opt,
+                                 const TestCaseSpec& tests);
+
+  // The artifact the constructor will ask the compiler for under `opt` —
+  // kind plus extra flags (the batch-lane define). Exposed so an async
+  // pre-compile (TieredEngine) addresses the exact cache entry the engine
+  // construction will then hit; any drift here would make the hand-over a
+  // silent recompile.
+  static ArtifactKind artifactPlan(const SimOptions& opt,
+                                   std::string* extraFlags);
+
   ~AccMoSEngine();
 
   AccMoSEngine(const AccMoSEngine&) = delete;
@@ -165,6 +201,10 @@ class AccMoSEngine {
   ExecMode execModeUsed_ = ExecMode::Process;
   std::unique_ptr<class CompilerDriver> driver_;
   std::unique_ptr<class ModelLib> lib_;  // set in dlopen mode only
+  // Keeps a pool-compiled artifact's workspace alive for this engine's
+  // lifetime when the binary could not be published to the cache
+  // (CompileOutput::keepAlive).
+  std::shared_ptr<void> artifactKeepAlive_;
 
   // Lazily-built executable for the subprocess fallback (see
   // ensureExecutable); equals exePath_ when the engine started in Process

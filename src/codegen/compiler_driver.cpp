@@ -7,12 +7,16 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <filesystem>
 #include <fstream>
+#include <future>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <thread>
 #include <unordered_map>
@@ -28,6 +32,7 @@ namespace {
 
 std::atomic<int> g_dirCounter{0};
 std::atomic<int> g_tmpCounter{0};
+std::atomic<uint64_t> g_invocations{0};
 
 std::string readFile(const fs::path& p) {
   std::ifstream in(p, std::ios::binary);
@@ -172,7 +177,378 @@ bool storeEntry(uint64_t key, const fs::path& exePath) {
   }
 }
 
+// One fully-specified compilation, independent of any CompilerDriver
+// instance: jobs capture these by value so they can outlive their creator
+// (the driver may be destroyed while a pool worker compiles).
+struct CompileParams {
+  std::string source;
+  std::string name;
+  std::string optFlag;
+  std::string extraFlags;
+  ArtifactKind kind = ArtifactKind::Executable;
+  double timeoutSec = 0.0;
+  bool publish = false;  // cache usable: publish + single-flight by key
+  uint64_t key = 0;
+};
+
+// Re-verifies and returns the cache entry for `key`, or nullopt on a miss
+// (dropping any stale in-process index entry).
+std::optional<CompileOutput> tryCacheHit(uint64_t key) {
+  auto t0 = std::chrono::steady_clock::now();
+  CacheEntry e = cachePaths(key);
+  if (!verifyEntry(e)) {
+    std::lock_guard<std::mutex> lock(g_cacheMutex);
+    g_cacheIndex.erase(key);
+    return std::nullopt;
+  }
+  {
+    std::lock_guard<std::mutex> lock(g_cacheMutex);
+    g_cacheIndex[key] = e.bin.string();
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  CompileOutput out;
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.exePath = e.bin.string();
+  out.cacheHit = true;
+  return out;
+}
+
+// Runs one real compilation in `dirStr`: writes the source, invokes the
+// compiler under the watchdog/rlimits with the transient-failure retry
+// loop, and publishes to the cache when the params ask for it. This is the
+// single code path under both the synchronous and the asynchronous front
+// ends, so fault injection, retries and crash-safe publication behave
+// identically either way.
+CompileOutput compileNow(const CompileParams& p, const std::string& dirStr) {
+  const bool shared = p.kind == ArtifactKind::SharedLib;
+  CompileOutput out;
+  fs::path src = fs::path(dirStr) / (p.name + ".cpp");
+  fs::path exe = fs::path(dirStr) / (shared ? p.name + ".so" : p.name);
+  fs::path log = fs::path(dirStr) / (p.name + ".log");
+  {
+    std::ofstream f(src);
+    if (!f) throw CompileError("cannot write " + src.string());
+    f << p.source;
+  }
+  out.sourcePath = src.string();
+
+  // Another process may have published this key since our caller's cache
+  // probe; claiming the hit here saves the compile.
+  if (p.publish) {
+    if (auto hit = tryCacheHit(p.key)) {
+      hit->sourcePath = out.sourcePath;
+      return *hit;
+    }
+  }
+
+  std::ostringstream cmd;
+  cmd << CompilerDriver::compilerPath() << " -std=c++17 " << p.optFlag;
+  if (shared) cmd << " " << kSharedLibFlags;
+  if (!p.extraFlags.empty()) cmd << " " << p.extraFlags;
+  cmd << " -o " << shellQuote(exe.string()) << " " << shellQuote(src.string());
+
+  // The watchdog + rlimits containing ONE compiler invocation. The CPU
+  // limit shadows the wall-clock one (a compiler spinning on one core hits
+  // both); AS is deliberately left unlimited — modern compilers and
+  // sanitizer builds legitimately reserve huge address ranges.
+  SpawnLimits limits;
+  limits.timeoutSec = p.timeoutSec;
+  limits.cpuSeconds = p.timeoutSec > 0.0 ? p.timeoutSec * 2.0 : 0.0;
+  limits.fileSizeBytes = 4ull << 30;
+
+  const FaultPlan faults = faultPlanFromEnv();
+  constexpr int kMaxAttempts = 3;
+  out.invocation = g_invocations.fetch_add(1) + 1;
+  auto t0 = std::chrono::steady_clock::now();
+  SpawnResult r;
+  int attempt = 0;
+  for (;;) {
+    std::string shellCmd = cmd.str();
+    // Deterministic fault injection (ACCMOS_FAULT): stage a compiler
+    // death or a slow compile instead of / before the real invocation.
+    if (consumeCompileFault(faults)) {
+      if (faults.compileFailExit > 0) {
+        shellCmd = "echo 'accmos: injected compiler failure' >&2; exit " +
+                   std::to_string(faults.compileFailExit);
+      } else {
+        shellCmd = "kill -" + std::to_string(faults.compileFailSignal) + " $$";
+      }
+    } else if (faults.slowCompileMs > 0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "sleep %.3f; ",
+                    faults.slowCompileMs / 1000.0);
+      shellCmd = buf + shellCmd;
+    }
+    r = spawnAndCapture({"/bin/sh", "-c", shellCmd}, limits);
+    if (r.exitedOk()) break;
+
+    // Transient failures — the OOM killer's SIGKILL or a fork-time EAGAIN
+    // — are retried with bounded exponential backoff. A watchdog kill is
+    // NOT transient: what timed out once will time out again.
+    bool transient = !r.timedOut && ((r.launchFailed &&
+                                      r.launchErrno == EAGAIN) ||
+                                     statusKilledBy(r.status, SIGKILL));
+    if (!transient || attempt + 1 >= kMaxAttempts) {
+      std::string failure;
+      if (r.timedOut) {
+        failure = "timed out after " + std::to_string(p.timeoutSec) +
+                  "s (watchdog killed the compiler process group)";
+      } else if (r.launchFailed) {
+        failure = std::string("could not be launched (") +
+                  std::strerror(r.launchErrno) + ")";
+      } else {
+        failure = describeWaitStatus(r.status);
+      }
+      if (attempt > 0) {
+        failure += " after " + std::to_string(attempt) + " retr" +
+                   (attempt == 1 ? "y" : "ies");
+      }
+      throw CompileError("compilation of generated simulation code failed: " +
+                         CompilerDriver::compilerPath() + " " + failure +
+                         "\ncompiler output:\n" + r.output);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25 << attempt));
+    ++attempt;
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.retries = attempt;
+  {
+    // Keep the on-disk log for debugging sessions with keepGeneratedCode.
+    std::ofstream f(log);
+    f << r.output;
+  }
+  out.exePath = exe.string();
+  if (p.publish && storeEntry(p.key, exe)) {
+    CacheEntry e = cachePaths(p.key);
+    out.exePath = e.bin.string();
+    std::lock_guard<std::mutex> lock(g_cacheMutex);
+    g_cacheIndex[p.key] = e.bin.string();
+  }
+  return out;
+}
+
+// Self-owned scratch directory for pool-executed jobs (a pool worker has
+// no driver directory to compile in). Removed when the last reference —
+// possibly a CompileOutput::keepAlive — goes away.
+struct JobWorkspace {
+  std::string dir;
+  JobWorkspace() {
+    fs::path base = fs::temp_directory_path() /
+                    ("accmos_async_" + std::to_string(::getpid()) + "_" +
+                     std::to_string(g_dirCounter.fetch_add(1)));
+    fs::create_directories(base);
+    dir = base.string();
+  }
+  ~JobWorkspace() {
+    std::error_code ec;
+    fs::remove_all(dir, ec);  // best effort
+  }
+};
+
 }  // namespace
+
+namespace detail {
+
+// One in-flight compilation shared by every requester of the same cache
+// key. The promise/shared_future pair carries the result to all of them;
+// `claimed` makes execution single-shot (whoever flips it runs the
+// compile — a synchronous caller inline, or a pool worker); `interest`
+// counts live handles for cooperative cancellation.
+class CompileJob {
+ public:
+  explicit CompileJob(CompileParams p) : params(std::move(p)) {
+    future = promise.get_future().share();
+  }
+
+  CompileParams params;
+  std::promise<CompileOutput> promise;
+  std::shared_future<CompileOutput> future;
+  std::atomic<bool> claimed{false};
+  std::atomic<int> interest{0};
+  bool mapped = false;  // registered in the single-flight map
+};
+
+}  // namespace detail
+
+namespace {
+
+using detail::CompileJob;
+
+// Single-flight map: cache key -> the job currently compiling it. Entries
+// are removed the moment the job completes, so a later request re-probes
+// the (now warm) cache instead of holding completed jobs alive.
+std::mutex g_flightMutex;
+std::unordered_map<uint64_t, std::shared_ptr<CompileJob>> g_inFlight;
+
+void unregisterJob(const std::shared_ptr<CompileJob>& job) {
+  if (!job->mapped) return;
+  std::lock_guard<std::mutex> lock(g_flightMutex);
+  auto it = g_inFlight.find(job->params.key);
+  if (it != g_inFlight.end() && it->second == job) g_inFlight.erase(it);
+}
+
+// Joins the in-flight job for `p.key` or registers a fresh one.
+// Returns {job, true-if-fresh}.
+std::pair<std::shared_ptr<CompileJob>, bool> acquireJob(
+    const CompileParams& p) {
+  std::lock_guard<std::mutex> lock(g_flightMutex);
+  auto it = g_inFlight.find(p.key);
+  if (it != g_inFlight.end()) return {it->second, false};
+  auto job = std::make_shared<CompileJob>(p);
+  job->mapped = true;
+  g_inFlight[p.key] = job;
+  return {job, true};
+}
+
+// Claims and executes `job` on the calling thread unless someone already
+// did. With an empty dirHint the job compiles in its own workspace (the
+// pool path); otherwise in the caller's driver directory (the inline
+// path). Always completes the promise — value or exception.
+bool runJobIfUnclaimed(const std::shared_ptr<CompileJob>& job,
+                       const std::string& dirHint) {
+  if (job->claimed.exchange(true)) return false;
+  try {
+    std::shared_ptr<JobWorkspace> ws;
+    std::string dir = dirHint;
+    if (dir.empty()) {
+      ws = std::make_shared<JobWorkspace>();
+      dir = ws->dir;
+    }
+    CompileOutput out = compileNow(job->params, dir);
+    // Only an artifact still inside the workspace (publication failed or
+    // the cache is off) needs the workspace kept alive with the output.
+    if (ws && out.exePath.rfind(ws->dir, 0) == 0) out.keepAlive = ws;
+    job->promise.set_value(std::move(out));
+  } catch (...) {
+    job->promise.set_exception(std::current_exception());
+  }
+  unregisterJob(job);
+  return true;
+}
+
+// The background compile pool: a lazily-started set of worker threads
+// (ACCMOS_COMPILE_POOL, default 2) draining a FIFO of jobs. A job whose
+// every handle was cancelled before a worker reached it is completed with
+// CompileCancelled instead of being compiled; a job a synchronous caller
+// already claimed inline is skipped. Function-local static: constructed on
+// first use, joined at process exit.
+class CompilePool {
+ public:
+  static CompilePool& instance() {
+    static CompilePool pool;
+    return pool;
+  }
+
+  void enqueue(std::shared_ptr<CompileJob> job) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(job));
+      size_t want = static_cast<size_t>(CompilerDriver::compilePoolSize());
+      while (workers_.size() < want) {
+        workers_.emplace_back([this] { workerLoop(); });
+      }
+    }
+    cv_.notify_one();
+  }
+
+  ~CompilePool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+ private:
+  void workerLoop() {
+    for (;;) {
+      std::shared_ptr<CompileJob> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (stop_) return;
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      if (job->interest.load() <= 0) {
+        // Cooperative cancellation: nobody wants the result anymore and
+        // work has not started — complete without compiling.
+        if (!job->claimed.exchange(true)) {
+          job->promise.set_exception(std::make_exception_ptr(CompileCancelled(
+              "asynchronous compilation of " + job->params.name +
+              " cancelled before it started")));
+          unregisterJob(job);
+        }
+        continue;
+      }
+      runJobIfUnclaimed(job, "");
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<CompileJob>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+// An already-resolved job for the cache-hit fast path of compileAsync().
+std::shared_ptr<CompileJob> makeReadyJob(CompileOutput out) {
+  auto job = std::make_shared<CompileJob>(CompileParams{});
+  job->claimed.store(true);
+  job->promise.set_value(std::move(out));
+  return job;
+}
+
+}  // namespace
+
+CompileHandle::CompileHandle(std::shared_ptr<detail::CompileJob> job)
+    : job_(std::move(job)) {
+  if (job_) job_->interest.fetch_add(1);
+}
+
+CompileHandle::CompileHandle(CompileHandle&& other) noexcept
+    : job_(std::move(other.job_)), released_(other.released_) {
+  other.job_.reset();
+  other.released_ = true;
+}
+
+CompileHandle& CompileHandle::operator=(CompileHandle&& other) noexcept {
+  if (this != &other) {
+    cancel();
+    job_ = std::move(other.job_);
+    released_ = other.released_;
+    other.job_.reset();
+    other.released_ = true;
+  }
+  return *this;
+}
+
+CompileHandle::~CompileHandle() { cancel(); }
+
+bool CompileHandle::ready() const {
+  return job_ != nullptr &&
+         job_->future.wait_for(std::chrono::seconds(0)) ==
+             std::future_status::ready;
+}
+
+CompileOutput CompileHandle::get() const {
+  if (!job_) throw CompileError("get() on an empty CompileHandle");
+  return job_->future.get();
+}
+
+void CompileHandle::wait() const {
+  if (job_) job_->future.wait();
+}
+
+void CompileHandle::cancel() {
+  if (job_ && !released_) {
+    job_->interest.fetch_sub(1);
+    released_ = true;
+  }
+}
 
 CompilerDriver::CompilerDriver(std::string workDir) {
   if (workDir.empty()) {
@@ -235,132 +611,118 @@ uint64_t CompilerDriver::cacheKey(const std::string& source,
   return fnv1a64(source, h);
 }
 
+uint64_t CompilerDriver::compilerInvocations() { return g_invocations.load(); }
+
+bool CompilerDriver::cacheDisabledGlobally() { return cacheDisabledByEnv(); }
+
+int CompilerDriver::compilePoolSize() {
+  if (const char* env = std::getenv("ACCMOS_COMPILE_POOL");
+      env != nullptr && env[0] != '\0') {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) return static_cast<int>(v < 16 ? v : 16);
+  }
+  return 2;
+}
+
 CompileOutput CompilerDriver::compile(const std::string& source,
                                       const std::string& name,
                                       const std::string& optFlag,
                                       ArtifactKind kind,
                                       const std::string& extraFlags) {
-  const bool shared = kind == ArtifactKind::SharedLib;
-  CompileOutput out;
+  CompileParams p;
+  p.source = source;
+  p.name = name;
+  p.optFlag = optFlag;
+  p.extraFlags = extraFlags;
+  p.kind = kind;
+  p.timeoutSec = compileTimeoutSec_;
+  p.publish = cacheEnabled_ && !cacheDisabledByEnv();
+
+  // The caller's source copy always lands in this driver's directory (the
+  // keepGeneratedCode contract), whichever thread ends up compiling.
   fs::path src = fs::path(dir_) / (name + ".cpp");
-  fs::path exe = fs::path(dir_) / (shared ? name + ".so" : name);
-  fs::path log = fs::path(dir_) / (name + ".log");
   {
     std::ofstream f(src);
     if (!f) throw CompileError("cannot write " + src.string());
     f << source;
   }
+
+  if (!p.publish) {
+    // No cache, no sharing: compile privately in this driver's directory.
+    CompileOutput out = compileNow(p, dir_);
+    out.sourcePath = src.string();
+    return out;
+  }
+
+  p.key = cacheKey(source, optFlag, kind, extraFlags);
+  if (auto hit = tryCacheHit(p.key)) {
+    hit->sourcePath = src.string();
+    return *hit;
+  }
+
+  // Single-flight: join the in-flight compile for this key or register a
+  // fresh one — and in either case try to claim execution inline, so the
+  // synchronous path never waits on pool scheduling. Exactly one claimant
+  // compiles; everyone else blocks on the shared future.
+  auto acquired = acquireJob(p);
+  std::shared_ptr<CompileJob> job = acquired.first;
+  job->interest.fetch_add(1);
+  runJobIfUnclaimed(job, dir_);
+  CompileOutput out;
+  try {
+    out = job->future.get();
+  } catch (...) {
+    job->interest.fetch_sub(1);
+    throw;
+  }
+  job->interest.fetch_sub(1);
   out.sourcePath = src.string();
 
-  bool useCache = cacheEnabled_ && !cacheDisabledByEnv();
-  uint64_t key = 0;
-  if (useCache) {
-    key = cacheKey(source, optFlag, kind, extraFlags);
-    auto t0 = std::chrono::steady_clock::now();
-    CacheEntry e = cachePaths(key);
-    if (verifyEntry(e)) {
-      {
-        std::lock_guard<std::mutex> lock(g_cacheMutex);
-        g_cacheIndex[key] = e.bin.string();
-      }
-      auto t1 = std::chrono::steady_clock::now();
-      out.seconds = std::chrono::duration<double>(t1 - t0).count();
-      out.exePath = e.bin.string();
-      out.cacheHit = true;
-      return out;
-    }
-    {
-      // An entry this process produced earlier no longer verifies
-      // (truncated, corrupted, or cleaned up): drop it and recompile.
-      std::lock_guard<std::mutex> lock(g_cacheMutex);
-      g_cacheIndex.erase(key);
-    }
-  }
-
-  std::ostringstream cmd;
-  cmd << compilerPath() << " -std=c++17 " << optFlag;
-  if (shared) cmd << " " << kSharedLibFlags;
-  if (!extraFlags.empty()) cmd << " " << extraFlags;
-  cmd << " -o " << shellQuote(exe.string()) << " " << shellQuote(src.string());
-
-  // The watchdog + rlimits containing ONE compiler invocation. The CPU
-  // limit shadows the wall-clock one (a compiler spinning on one core hits
-  // both); AS is deliberately left unlimited — modern compilers and
-  // sanitizer builds legitimately reserve huge address ranges.
-  SpawnLimits limits;
-  limits.timeoutSec = compileTimeoutSec_;
-  limits.cpuSeconds = compileTimeoutSec_ > 0.0 ? compileTimeoutSec_ * 2.0 : 0.0;
-  limits.fileSizeBytes = 4ull << 30;
-
-  const FaultPlan faults = faultPlanFromEnv();
-  constexpr int kMaxAttempts = 3;
-  auto t0 = std::chrono::steady_clock::now();
-  SpawnResult r;
-  int attempt = 0;
-  for (;;) {
-    std::string shellCmd = cmd.str();
-    // Deterministic fault injection (ACCMOS_FAULT): stage a compiler
-    // death or a slow compile instead of / before the real invocation.
-    if (consumeCompileFault(faults)) {
-      if (faults.compileFailExit > 0) {
-        shellCmd = "echo 'accmos: injected compiler failure' >&2; exit " +
-                   std::to_string(faults.compileFailExit);
-      } else {
-        shellCmd = "kill -" + std::to_string(faults.compileFailSignal) + " $$";
-      }
-    } else if (faults.slowCompileMs > 0) {
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), "sleep %.3f; ",
-                    faults.slowCompileMs / 1000.0);
-      shellCmd = buf + shellCmd;
-    }
-    r = spawnAndCapture({"/bin/sh", "-c", shellCmd}, limits);
-    if (r.exitedOk()) break;
-
-    // Transient failures — the OOM killer's SIGKILL or a fork-time EAGAIN
-    // — are retried with bounded exponential backoff. A watchdog kill is
-    // NOT transient: what timed out once will time out again.
-    bool transient = !r.timedOut && ((r.launchFailed &&
-                                      r.launchErrno == EAGAIN) ||
-                                     statusKilledBy(r.status, SIGKILL));
-    if (!transient || attempt + 1 >= kMaxAttempts) {
-      std::string failure;
-      if (r.timedOut) {
-        failure = "timed out after " + std::to_string(compileTimeoutSec_) +
-                  "s (watchdog killed the compiler process group)";
-      } else if (r.launchFailed) {
-        failure = std::string("could not be launched (") +
-                  std::strerror(r.launchErrno) + ")";
-      } else {
-        failure = describeWaitStatus(r.status);
-      }
-      if (attempt > 0) {
-        failure += " after " + std::to_string(attempt) + " retr" +
-                   (attempt == 1 ? "y" : "ies");
-      }
-      throw CompileError("compilation of generated simulation code failed: " +
-                         compilerPath() + " " + failure +
-                         "\ncompiler output:\n" + r.output);
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(25 << attempt));
-    ++attempt;
-  }
-  auto t1 = std::chrono::steady_clock::now();
-  out.seconds = std::chrono::duration<double>(t1 - t0).count();
-  out.retries = attempt;
-  {
-    // Keep the on-disk log for debugging sessions with keepGeneratedCode.
-    std::ofstream f(log);
-    f << r.output;
-  }
-  out.exePath = exe.string();
-  if (useCache && storeEntry(key, exe)) {
-    CacheEntry e = cachePaths(key);
-    out.exePath = e.bin.string();
-    std::lock_guard<std::mutex> lock(g_cacheMutex);
-    g_cacheIndex[key] = e.bin.string();
+  // A joined result normally lives in the cache (published) or carries its
+  // workspace via keepAlive. The residual corner — another driver compiled
+  // it in its own directory and publication failed — would hand us a path
+  // whose lifetime we don't control; rebuild locally instead.
+  bool local = out.exePath.rfind(dir_, 0) == 0;
+  bool cached = out.exePath.rfind(cacheDir(), 0) == 0;
+  if (!local && !cached && !out.keepAlive) {
+    out = compileNow(p, dir_);
+    out.sourcePath = src.string();
   }
   return out;
+}
+
+CompileHandle CompilerDriver::compileAsync(const std::string& source,
+                                           const std::string& name,
+                                           const std::string& optFlag,
+                                           ArtifactKind kind,
+                                           const std::string& extraFlags) {
+  CompileParams p;
+  p.source = source;
+  p.name = name;
+  p.optFlag = optFlag;
+  p.extraFlags = extraFlags;
+  p.kind = kind;
+  p.timeoutSec = compileTimeoutSec_;
+  p.publish = cacheEnabled_ && !cacheDisabledByEnv();
+
+  if (p.publish) {
+    p.key = cacheKey(source, optFlag, kind, extraFlags);
+    if (auto hit = tryCacheHit(p.key)) {
+      // Warm model: the handle is ready before the caller's first poll.
+      return CompileHandle(makeReadyJob(std::move(*hit)));
+    }
+    auto acquired = acquireJob(p);
+    CompileHandle h(acquired.first);  // register interest before enqueueing
+    if (acquired.second) CompilePool::instance().enqueue(acquired.first);
+    return h;
+  }
+
+  // Cache off: still async, but private — no key to share under.
+  auto job = std::make_shared<CompileJob>(std::move(p));
+  CompileHandle h(job);
+  CompilePool::instance().enqueue(std::move(job));
+  return h;
 }
 
 std::string CompilerDriver::run(const std::string& exePath,

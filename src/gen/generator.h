@@ -69,6 +69,10 @@ struct GenResult {
   double wallSeconds = 0.0;
   OptStats optStats;
   size_t enginesBuilt = 0;  // AccMoS: distinct stimulus shapes compiled
+  // Wall seconds the search actually blocked on the compiler (see
+  // CampaignResult::compileWaitSeconds — near zero under Tier::Auto,
+  // where candidate evaluation overlaps the background compiles).
+  double compileWaitSeconds = 0.0;
   // Contained per-candidate failures (timeouts, crashes, compile
   // failures), in evaluation order; RunFailure::index is the global
   // candidate index. A faulting candidate is simply never accepted — the

@@ -12,6 +12,7 @@
 #include "codegen/compiler_driver.h"
 #include "interp/interpreter.h"
 #include "opt/pipeline.h"
+#include "sim/tiered_engine.h"
 
 namespace accmos {
 namespace {
@@ -70,7 +71,7 @@ SpecEvaluator::SpecEvaluator(const FlatModel& fm, const SimOptions& opt)
 
 SpecEvaluator::~SpecEvaluator() = default;
 
-AccMoSEngine* SpecEvaluator::engineFor(const TestCaseSpec& spec) {
+TieredEngine* SpecEvaluator::engineFor(const TestCaseSpec& spec) {
   std::string key = spec.shapeKey();
   auto it = engines_.find(key);
   if (it != engines_.end()) return it->second.get();
@@ -78,14 +79,41 @@ AccMoSEngine* SpecEvaluator::engineFor(const TestCaseSpec& spec) {
   // of a spec map to one compiled binary (the seed is a runtime argument).
   TestCaseSpec shape = spec;
   shape.seed = 1;
-  auto engine = std::make_unique<AccMoSEngine>(fm_, opt_, shape);
+  auto engine = std::make_unique<TieredEngine>(fm_, opt_, shape);
   ++enginesBuilt_;
-  if (!engine->compileCacheHit()) ++cacheMisses_;
-  generateSeconds_ += engine->generateSeconds();
-  compileSeconds_ += engine->compileSeconds();
-  loadSeconds_ += engine->loadSeconds();
   return engines_.emplace(std::move(key), std::move(engine))
       .first->second.get();
+}
+
+double SpecEvaluator::generateSeconds() const {
+  double s = 0.0;
+  for (const auto& [key, e] : engines_) s += e->generateSeconds();
+  return s;
+}
+
+double SpecEvaluator::compileSeconds() const {
+  double s = 0.0;
+  for (const auto& [key, e] : engines_) s += e->compileSeconds();
+  return s;
+}
+
+double SpecEvaluator::loadSeconds() const {
+  double s = 0.0;
+  for (const auto& [key, e] : engines_) s += e->loadSeconds();
+  return s;
+}
+
+double SpecEvaluator::compileWaitSeconds() const {
+  double s = 0.0;
+  for (const auto& [key, e] : engines_) s += e->compileWaitSeconds();
+  return s;
+}
+
+bool SpecEvaluator::allCompileCacheHits() const {
+  for (const auto& [key, e] : engines_) {
+    if (!e->compileCacheHit()) return false;
+  }
+  return true;
 }
 
 // Runs every spec, storing the result at the spec's index. With more than
@@ -112,13 +140,27 @@ std::vector<SimulationResult> SpecEvaluator::evaluate(
   }
   for (const auto& spec : specs) spec.validate();
 
+  // Time-to-first-result is measured from here: the serial engine build
+  // below is exactly the synchronous compile that Tier::Auto overlaps
+  // away, so it must count against the metric.
+  const auto evalStart = std::chrono::steady_clock::now();
+  auto markFirstResult = [&] {
+    std::call_once(firstResultOnce_, [&] {
+      firstResultSeconds_ = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - evalStart)
+                                .count();
+    });
+  };
+
   // AccMoS: build (or reuse) the per-shape engines serially before the
   // fan-out — compilation already parallelizes poorly and the serial order
-  // keeps construction bookkeeping deterministic. A shape whose simulator
-  // cannot be compiled does not abort the batch: every spec of that shape
-  // is marked with the compile failure (engineOf == nullptr) and reported
-  // as a contained CompileError result; other shapes run normally.
-  std::vector<AccMoSEngine*> engineOf;
+  // keeps construction bookkeeping deterministic (under Tier::Auto the
+  // construction only emits and enqueues, so this loop is cheap and the
+  // compiles overlap the runs below). A shape whose simulator cannot be
+  // compiled does not abort the batch: every spec of that shape is marked
+  // with the compile failure (engineOf == nullptr) and reported as a
+  // contained CompileError result; other shapes run normally.
+  std::vector<TieredEngine*> engineOf;
   std::vector<std::string> buildError(specs.size());
   if (opt_.engine == Engine::AccMoS) {
     engineOf.reserve(specs.size());
@@ -160,7 +202,10 @@ std::vector<SimulationResult> SpecEvaluator::evaluate(
         if (opt_.engine == Engine::SSE) {
           auto& interp = interps_[worker];
           if (!interp) interp = std::make_unique<Interpreter>(fm_, opt_);
-          for (size_t k = k0; k < k1; ++k) out[k] = interp->run(specs[k]);
+          for (size_t k = k0; k < k1; ++k) {
+            out[k] = interp->run(specs[k]);
+            markFirstResult();
+          }
         } else {
           // Group consecutive same-engine specs into one contained batch
           // call; the engine chunks further to its lane width and falls
@@ -172,6 +217,7 @@ std::vector<SimulationResult> SpecEvaluator::evaluate(
           while (g0 < k1) {
             if (engineOf[g0] == nullptr) {
               out[g0] = compileFailedResult(specs[g0].seed, buildError[g0]);
+              markFirstResult();
               ++g0;
               continue;
             }
@@ -181,8 +227,9 @@ std::vector<SimulationResult> SpecEvaluator::evaluate(
             seeds.reserve(g1 - g0);
             for (size_t k = g0; k < g1; ++k) seeds.push_back(specs[k].seed);
             std::vector<SimulationResult> rs =
-                engineOf[g0]->runBatchContained(seeds, 0, -1.0);
+                engineOf[g0]->runBatchContained(seeds, worker);
             for (size_t k = g0; k < g1; ++k) out[k] = std::move(rs[k - g0]);
+            markFirstResult();
             g0 = g1;
           }
         }
@@ -236,12 +283,21 @@ CampaignResult runCampaignSpecs(const FlatModel& fm, const SimOptions& opt,
   out.workersUsed = resolveWorkers(opt, specs.size());
 
   SpecEvaluator evaluator(*model, opt);
+  const auto evalStart = std::chrono::steady_clock::now();
   std::vector<SimulationResult> results = evaluator.evaluate(specs);
   out.generateSeconds = evaluator.generateSeconds();
   out.compileSeconds = evaluator.compileSeconds();
   out.loadSeconds = evaluator.loadSeconds();
+  out.compileWaitSeconds = evaluator.compileWaitSeconds();
   out.compileCacheHit =
       evaluator.enginesBuilt() > 0 && evaluator.allCompileCacheHits();
+  if (evaluator.timeToFirstResultSeconds() >= 0.0) {
+    // Campaign-relative: the flatten/optimize prelude plus the evaluator's
+    // own start-to-first-result span.
+    out.timeToFirstResultSeconds =
+        std::chrono::duration<double>(evalStart - wall0).count() +
+        evaluator.timeToFirstResultSeconds();
+  }
 
   // Merge strictly in spec order: coverage-bitmap unions, diagnostic
   // deduplication and the per-spec cumulative reports are computed exactly
@@ -263,6 +319,7 @@ CampaignResult runCampaignSpecs(const FlatModel& fm, const SimOptions& opt,
       CampaignSeedResult sr;
       sr.seed = specs[k].seed;
       sr.failed = true;
+      sr.execMode = res.execMode;
       sr.cumulative = makeReport(plan, out.mergedBitmaps);
       out.perSeed.push_back(std::move(sr));
       continue;
@@ -278,7 +335,25 @@ CampaignResult runCampaignSpecs(const FlatModel& fm, const SimOptions& opt,
     sr.coverage = res.coverage;
     sr.cumulative = makeReport(plan, out.mergedBitmaps);
     sr.diagnosticKinds = res.diagnostics.size();
+    sr.execMode = res.execMode;
+    if (res.execMode == kExecModeInterp) {
+      ++out.interpSeeds;
+    } else if (!res.execMode.empty()) {
+      ++out.nativeSeeds;
+    }
     out.perSeed.push_back(std::move(sr));
+  }
+  // Where the hot-swap landed, in merge order: only meaningful when both
+  // tiers answered seeds.
+  if (out.interpSeeds > 0 && out.nativeSeeds > 0) {
+    for (size_t k = 0; k < out.perSeed.size(); ++k) {
+      const CampaignSeedResult& sr = out.perSeed[k];
+      if (!sr.failed && !sr.execMode.empty() &&
+          sr.execMode != kExecModeInterp) {
+        out.tierSwapIndex = static_cast<long long>(k);
+        break;
+      }
+    }
   }
 
   out.cumulative = makeReport(plan, out.mergedBitmaps);

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,10 @@ struct CampaignSeedResult {
   CoverageReport coverage;          // this seed alone
   CoverageReport cumulative;        // union up to and including this seed
   size_t diagnosticKinds = 0;       // distinct (actor, kind) events
+  // Execution backend that answered this seed: "interp" when the
+  // interpreter tier served it (SimOptions::tier), "dlopen" /
+  // "dlopen-batch" / "process" for native runs; empty for SSE campaigns.
+  std::string execMode;
   // This seed's run was contained as a failure (timeout, crash, compile
   // failure): it contributed nothing to the merge, and the matching
   // RunFailure sits in CampaignResult::failures. The row is kept so
@@ -61,6 +66,20 @@ struct CampaignResult {
   double compileSeconds = 0.0;
   double loadSeconds = 0.0;           // AccMoS dlopen mode: library loads
   bool compileCacheHit = false;       // AccMoS: every binary came cached
+  // Tiered execution (SimOptions::tier, docs/EXECUTION.md). Wall seconds
+  // workers actually BLOCKED on the compiler: equals compileSeconds under
+  // Tier::Native (the synchronous build), near zero under Tier::Auto
+  // (the compile overlaps interpreted runs on the background pool).
+  double compileWaitSeconds = 0.0;
+  // Wall seconds from campaign start until the first per-seed result was
+  // available — the cold-start latency tiering attacks.
+  double timeToFirstResultSeconds = 0.0;
+  // First spec index answered by the compiled simulator when earlier
+  // specs ran interpreted — where the hot-swap landed in merge order.
+  // -1 when no swap happened (all-native, all-interp, or SSE).
+  long long tierSwapIndex = -1;
+  size_t interpSeeds = 0;             // seeds answered by the interp tier
+  size_t nativeSeeds = 0;             // seeds answered by the native tier
   size_t workersUsed = 1;
   // Contained per-seed failures, in seed (spec) order. A campaign never
   // aborts because one seed hung or crashed: the failed seed is recorded
@@ -106,6 +125,12 @@ CampaignResult runCampaignSpecs(const FlatModel& fm, const SimOptions& opt,
 // accmos_run ABI is reentrant), in process mode each run is a child
 // process; the content-addressed compile cache absorbs repeated shapes
 // across evaluators and runs.
+//
+// Each AccMoS shape is fronted by a TieredEngine, so under
+// SimOptions::tier == Auto the evaluator starts answering specs on the
+// interpreter tier while the per-shape compiles proceed on the background
+// pool, hot-swapping to the compiled simulator mid-batch (Tier::Native
+// keeps the classic synchronous build).
 class SpecEvaluator {
  public:
   // Throws ModelError unless `opt` names an instrumented engine (SSE or
@@ -121,25 +146,32 @@ class SpecEvaluator {
   // worker count or interleaving.
   std::vector<SimulationResult> evaluate(const std::vector<TestCaseSpec>& specs);
 
-  // AccMoS bookkeeping (all zero / true for SSE).
+  // AccMoS bookkeeping (all zero / true for SSE). Computed over the live
+  // per-shape engines rather than snapshotted at construction, because
+  // under Tier::Auto the compile cost only becomes known when the async
+  // build finishes mid-batch.
   size_t enginesBuilt() const { return enginesBuilt_; }
-  double generateSeconds() const { return generateSeconds_; }
-  double compileSeconds() const { return compileSeconds_; }
-  double loadSeconds() const { return loadSeconds_; }
-  bool allCompileCacheHits() const { return cacheMisses_ == 0; }
+  double generateSeconds() const;
+  double compileSeconds() const;
+  double loadSeconds() const;
+  // Wall seconds workers actually blocked on the compiler (see
+  // CampaignResult::compileWaitSeconds).
+  double compileWaitSeconds() const;
+  bool allCompileCacheHits() const;
+  // Wall seconds from the start of the first evaluate() call until its
+  // first spec result landed; negative before any evaluate() ran.
+  double timeToFirstResultSeconds() const { return firstResultSeconds_; }
 
  private:
-  class AccMoSEngine* engineFor(const TestCaseSpec& spec);
+  class TieredEngine* engineFor(const TestCaseSpec& spec);
 
   const FlatModel& fm_;
   SimOptions opt_;
-  std::map<std::string, std::unique_ptr<class AccMoSEngine>> engines_;
+  std::map<std::string, std::unique_ptr<class TieredEngine>> engines_;
   std::vector<std::unique_ptr<class Interpreter>> interps_;  // per worker
   size_t enginesBuilt_ = 0;
-  size_t cacheMisses_ = 0;
-  double generateSeconds_ = 0.0;
-  double compileSeconds_ = 0.0;
-  double loadSeconds_ = 0.0;
+  std::once_flag firstResultOnce_;
+  double firstResultSeconds_ = -1.0;
 };
 
 }  // namespace accmos

@@ -66,6 +66,9 @@ TEST(Campaign, AccMoSMatchesSseSeedBySeed) {
   auto sse = runCampaign(sim.flatModel(), sseOpt, benchStimulus("SPV"), seeds);
   SimOptions accOpt = sseOpt;
   accOpt.engine = Engine::AccMoS;
+  // Pinned: the compileSeconds assertion below needs the synchronous
+  // compile (an ambient ACCMOS_TIER=interp/auto would skip or defer it).
+  accOpt.tier = Tier::Native;
   auto acc = runCampaign(sim.flatModel(), accOpt, benchStimulus("SPV"), seeds);
 
   ASSERT_EQ(sse.perSeed.size(), acc.perSeed.size());

@@ -25,6 +25,12 @@
 //                                      (also: env ACCMOS_NO_OPT=1)
 //   --exec-mode=dlopen|process         AccMoS execution backend (default
 //                                      dlopen; also: env ACCMOS_EXEC_MODE)
+//   --tier=native|auto|interp          tiered execution (docs/EXECUTION.md):
+//                                      auto answers runs on the interpreter
+//                                      while the compile proceeds in the
+//                                      background, then hot-swaps to native;
+//                                      interp never compiles (default
+//                                      native; also: env ACCMOS_TIER)
 //   --batch-lanes=N                    fused batch-kernel lane width for
 //                                      multi-seed runs; 0 = scalar only
 //                                      (default 8; also: env ACCMOS_BATCH)
@@ -91,11 +97,13 @@ int usage() {
                "             [--tests=F.csv] [--seed=N] [--collect=PATH]...\n"
                "             [--no-coverage] [--no-diagnosis] "
                "[--stop-on-diagnostic] [--opt=-O3] [--no-opt] "
-               "[--exec-mode=dlopen|process] [--batch-lanes=N] "
+               "[--exec-mode=dlopen|process] [--tier=native|auto|interp] "
+               "[--batch-lanes=N] "
                "[--timeout=SEC] [--step-budget=N] [--show-uncovered]\n"
                "  accmos campaign <model.xml> [--seeds=N] [--steps=M] "
                "[--engine=accmos|sse] [--workers=W] [--batch-lanes=N] "
-               "[--no-opt] [--exec-mode=dlopen|process] [--timeout=SEC] "
+               "[--no-opt] [--exec-mode=dlopen|process] "
+               "[--tier=native|auto|interp] [--timeout=SEC] "
                "[--step-budget=N] [--show-uncovered]\n"
                "  accmos export-suite <directory>\n"
                "exit codes: 0 ok, 1 internal, 2 usage, 3 diagnostics, "
@@ -139,6 +147,22 @@ void printFailures(const std::vector<RunFailure>& failures) {
   for (const auto& f : failures) {
     std::printf("failure  : %s\n", f.summary().c_str());
   }
+}
+
+// --tier=native|auto|interp; returns false (after printing) on a bad value.
+bool parseTier(const std::string& v, SimOptions* opt) {
+  if (v == "native") {
+    opt->tier = Tier::Native;
+  } else if (v == "auto") {
+    opt->tier = Tier::Auto;
+  } else if (v == "interp") {
+    opt->tier = Tier::Interp;
+  } else {
+    std::fprintf(stderr, "tier must be native, auto or interp, not '%s'\n",
+                 v.c_str());
+    return false;
+  }
+  return true;
 }
 
 // --exec-mode=dlopen|process; returns false (after printing) on a bad value.
@@ -274,6 +298,8 @@ int cmdTestGen(const std::string& path,
       opt.batchLanes = std::strtoull(v.c_str(), nullptr, 10);
     } else if (flagValue(arg, "--exec-mode", &v)) {
       if (!parseExecMode(v, &opt)) return 2;
+    } else if (flagValue(arg, "--tier", &v)) {
+      if (!parseTier(v, &opt)) return 2;
     } else if (flagValue(arg, "--timeout", &v)) {
       opt.runTimeoutSec = std::strtod(v.c_str(), nullptr);
     } else if (flagValue(arg, "--step-budget", &v)) {
@@ -317,8 +343,9 @@ int cmdTestGen(const std::string& path,
               gr.corpus.size(), gr.evaluations, gr.diagKinds);
   printFailures(gr.failures);
   if (gr.enginesBuilt > 0) {
-    std::printf("codegen  : %zu distinct stimulus shape(s) compiled\n",
-                gr.enginesBuilt);
+    std::printf("codegen  : %zu distinct stimulus shape(s) compiled, "
+                "%.3fs compile-wait\n",
+                gr.enginesBuilt, gr.compileWaitSeconds);
   }
   if (!gopt.corpusDir.empty()) {
     std::printf("exported : %s (MANIFEST.tsv + entry_*.spec/.csv)\n",
@@ -368,6 +395,8 @@ int cmdRun(const std::string& path, const std::vector<std::string>& args) {
       opt.batchLanes = std::strtoull(v.c_str(), nullptr, 10);
     } else if (flagValue(arg, "--exec-mode", &v)) {
       if (!parseExecMode(v, &opt)) return 2;
+    } else if (flagValue(arg, "--tier", &v)) {
+      if (!parseTier(v, &opt)) return 2;
     } else if (flagValue(arg, "--timeout", &v)) {
       opt.runTimeoutSec = std::strtod(v.c_str(), nullptr);
     } else if (flagValue(arg, "--step-budget", &v)) {
@@ -421,6 +450,9 @@ int cmdRun(const std::string& path, const std::vector<std::string>& args) {
     if (res.loadSeconds > 0.0) std::printf(" + %.3fs load", res.loadSeconds);
     if (!res.execMode.empty()) std::printf(" [%s]", res.execMode.c_str());
     std::printf("\n");
+  } else if (!res.execMode.empty()) {
+    // Interpreter-tier runs have no codegen cost line to carry the mode.
+    std::printf("mode     : %s\n", res.execMode.c_str());
   }
   if (res.hasCoverage) {
     std::printf("coverage : %s\n", res.coverage.toString().c_str());
@@ -487,6 +519,8 @@ int cmdCampaign(const std::string& path,
       }
     } else if (flagValue(arg, "--exec-mode", &v)) {
       if (!parseExecMode(v, &opt)) return 2;
+    } else if (flagValue(arg, "--tier", &v)) {
+      if (!parseTier(v, &opt)) return 2;
     } else if (flagValue(arg, "--timeout", &v)) {
       opt.runTimeoutSec = std::strtod(v.c_str(), nullptr);
     } else if (flagValue(arg, "--step-budget", &v)) {
@@ -525,10 +559,19 @@ int cmdCampaign(const std::string& path,
   std::printf("exec     : %.3fs total, %.3fs wall", cr.totalExecSeconds,
               cr.wallSeconds);
   if (cr.compileSeconds > 0.0) {
-    std::printf(" (+%.3fs one-off generate+compile%s%s)",
-                cr.generateSeconds + cr.compileSeconds,
+    std::printf(" (+%.3fs one-off generate+compile, %.3fs compile-wait%s%s)",
+                cr.generateSeconds + cr.compileSeconds, cr.compileWaitSeconds,
                 cr.loadSeconds > 0.0 ? ", dlopen" : "",
                 cr.compileCacheHit ? ", cached" : "");
+  }
+  if (opt.engine == Engine::AccMoS && opt.tier != Tier::Native) {
+    std::printf("\ntier     : %s — %zu interp + %zu native seed(s), "
+                "first result %.3fs",
+                std::string(tierName(opt.tier)).c_str(), cr.interpSeeds,
+                cr.nativeSeeds, cr.timeToFirstResultSeconds);
+    if (cr.tierSwapIndex >= 0) {
+      std::printf(", hot-swap at seed index %lld", cr.tierSwapIndex);
+    }
   }
   std::printf("\ndiagnosis: %zu distinct event(s) across the campaign\n",
               cr.diagnostics.size());
