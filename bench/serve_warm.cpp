@@ -1,0 +1,204 @@
+// The resident-service latency claim (docs/SERVICE.md): a warm-pool
+// request through accmosd answers >= 10x faster than launching a cold
+// `accmos run` process for the same model.
+//
+// Three regimes are measured:
+//   cold_process — `accmos run` subprocess on an empty compile cache: the
+//                  price of generate + compile + dlopen paid per launch.
+//   cached_process — same subprocess with the compile cache warm: the
+//                  compiler is skipped but process spawn, model parse and
+//                  dlopen are still paid every time.
+//   warm_pool    — a ServeClient request against a daemon whose pool
+//                  already holds the model: socket round trip + execution
+//                  off the resident engine, nothing rebuilt.
+//
+// The process exits non-zero when warm_pool is not >= the required factor
+// faster than cold_process (ACCMOS_SERVE_BENCH_MIN_SPEEDUP, default 10),
+// so CI can gate on it. The cached_process ratio is reported and archived
+// but not enforced — it varies with filesystem and loader behaviour.
+//
+// Knobs: ACCMOS_SERVE_BENCH_ITERS (default 10) warm-request samples,
+// ACCMOS_SERVE_BENCH_COLD_ITERS (default 3) subprocess samples,
+// ACCMOS_SERVE_BENCH_STEPS (default 2000) steps per run.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "parser/model_io.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "sim/campaign.h"
+
+#ifndef ACCMOS_CLI_PATH
+#define ACCMOS_CLI_PATH "./accmos"
+#endif
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace accmos;
+
+double seconds(std::chrono::steady_clock::time_point t0,
+               std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// Minimum over samples: latency floors are what a client experiences once
+// caches and page tables have settled; means smear in scheduler noise.
+template <typename Fn>
+double minSeconds(size_t iters, Fn&& fn) {
+  double best = -1.0;
+  for (size_t k = 0; k < iters; ++k) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    const double s = seconds(t0, t1);
+    if (best < 0.0 || s < best) best = s;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  // Private compile cache so "cold" means cold and clearing it cannot
+  // evict anyone else's entries.
+  const fs::path scratch =
+      fs::temp_directory_path() /
+      ("accmos-serve-bench-" + std::to_string(::getpid()));
+  fs::create_directories(scratch);
+  const fs::path cacheDir = scratch / "cache";
+  ::setenv("ACCMOS_CACHE_DIR", cacheDir.c_str(), 1);
+  auto clearCache = [&] {
+    std::error_code ec;
+    fs::remove_all(cacheDir, ec);
+    fs::create_directories(cacheDir);
+  };
+  clearCache();
+
+  const uint64_t steps = bench::envSteps("ACCMOS_SERVE_BENCH_STEPS", 2000);
+  const size_t warmIters =
+      static_cast<size_t>(bench::envSteps("ACCMOS_SERVE_BENCH_ITERS", 10));
+  const size_t coldIters =
+      static_cast<size_t>(bench::envSteps("ACCMOS_SERVE_BENCH_COLD_ITERS", 3));
+  const double minSpeedup =
+      bench::envDouble("ACCMOS_SERVE_BENCH_MIN_SPEEDUP", 10.0);
+
+  auto model = buildBenchmarkModel("CSEV");
+  TestCaseSpec stim = benchStimulus("CSEV");
+  stim.seed = 7;
+  const fs::path modelPath = scratch / "csev.xml";
+  writeModelToFile(*model, modelPath.string(), &stim);
+  const std::string modelText = writeModelToString(*model, &stim);
+
+  SimOptions opt;
+  opt.engine = Engine::AccMoS;
+  opt.maxSteps = steps;
+
+  bench::JsonReporter json("serve_warm");
+  int violations = 0;
+
+  std::printf("Warm-pool latency: CSEV, %llu steps per run, CLI at %s\n",
+              static_cast<unsigned long long>(steps), ACCMOS_CLI_PATH);
+  bench::hr(72);
+
+  // ---- cold / cached `accmos run` process launches ------------------------
+  const std::string runCmd = std::string(ACCMOS_CLI_PATH) + " run " +
+                             modelPath.string() + " --engine=accmos --steps=" +
+                             std::to_string(steps) + " > /dev/null 2>&1";
+  auto launch = [&] {
+    if (std::system(runCmd.c_str()) != 0) {
+      std::fprintf(stderr, "accmos run failed: %s\n", runCmd.c_str());
+      std::exit(1);
+    }
+  };
+  double coldProcess = -1.0;
+  for (size_t k = 0; k < coldIters; ++k) {
+    clearCache();
+    auto t0 = std::chrono::steady_clock::now();
+    launch();
+    auto t1 = std::chrono::steady_clock::now();
+    const double s = seconds(t0, t1);
+    if (coldProcess < 0.0 || s < coldProcess) coldProcess = s;
+  }
+  // Cache is warm now (the last launch filled it).
+  const double cachedProcess = minSeconds(coldIters, launch);
+  std::printf("%-16s %10.4fs  (min of %zu, empty compile cache)\n",
+              "cold process", coldProcess, coldIters);
+  std::printf("%-16s %10.4fs  (min of %zu, warm compile cache)\n",
+              "cached process", cachedProcess, coldIters);
+
+  // ---- warm-pool requests through the daemon ------------------------------
+  serve::ServeOptions so;
+  so.socketPath = (scratch / "accmosd.sock").string();
+  so.requestWorkers = 2;
+  serve::Daemon daemon(so);
+  std::thread daemonThread([&] { daemon.run(); });
+
+  double warmPool = -1.0;
+  bool poolHitObserved = false;
+  {
+    serve::ServeClient client(so.socketPath);
+    client.run(modelText, opt, stim);  // populate the pool (miss)
+    serve::ServiceMeta meta;
+    warmPool = minSeconds(warmIters, [&] {
+      client.run(modelText, opt, stim, &meta);
+      poolHitObserved = poolHitObserved || meta.poolHit;
+    });
+    if (!poolHitObserved) {
+      std::printf("VIOLATION: repeat requests never hit the pool\n");
+      ++violations;
+    }
+  }
+  daemon.shutdown();
+  daemonThread.join();
+  std::printf("%-16s %10.4fs  (min of %zu, resident pool)\n", "warm pool",
+              warmPool, warmIters);
+  bench::hr(72);
+
+  const double speedupVsCold = coldProcess / warmPool;
+  const double speedupVsCached = cachedProcess / warmPool;
+  std::printf("speedup vs cold process:   %8.1fx (need >= %.1fx)\n",
+              speedupVsCold, minSpeedup);
+  std::printf("speedup vs cached process: %8.1fx (reported only)\n",
+              speedupVsCached);
+  if (speedupVsCold < minSpeedup) {
+    std::printf("VIOLATION: warm pool not fast enough\n");
+    ++violations;
+  }
+
+  json.row()
+      .str("phase", "latency")
+      .count("steps", steps)
+      .count("cold_iters", coldIters)
+      .count("warm_iters", warmIters)
+      .num("cold_process_s", coldProcess)
+      .num("cached_process_s", cachedProcess)
+      .num("warm_pool_s", warmPool);
+  json.row()
+      .str("phase", "summary")
+      .num("speedup_vs_cold_process", speedupVsCold)
+      .num("speedup_vs_cached_process", speedupVsCached)
+      .num("min_speedup", minSpeedup)
+      .flag("pool_hit_observed", poolHitObserved)
+      .flag("accepted", violations == 0);
+  json.write();
+
+  std::error_code ec;
+  fs::remove_all(scratch, ec);
+  if (violations > 0) {
+    std::printf("\n%d violation(s) — service latency contract broken\n",
+                violations);
+    return 1;
+  }
+  std::printf("\nAll service latency contracts hold.\n");
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <dlfcn.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdlib>
@@ -25,7 +26,13 @@ std::string dlerrorText() {
   return e != nullptr ? e : "unknown dlopen error";
 }
 
+std::atomic<long> g_loadCount{0};
+
 }  // namespace
+
+long ModelLib::loadCount() {
+  return g_loadCount.load(std::memory_order_relaxed);
+}
 
 ModelLib::ModelLib(const std::string& path) : path_(path) {
   auto t0 = std::chrono::steady_clock::now();
@@ -85,6 +92,7 @@ ModelLib::ModelLib(const std::string& path) : path_(path) {
   }
   auto t1 = std::chrono::steady_clock::now();
   loadSeconds_ = std::chrono::duration<double>(t1 - t0).count();
+  g_loadCount.fetch_add(1, std::memory_order_relaxed);
 }
 
 ModelLib::~ModelLib() {

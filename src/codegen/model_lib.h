@@ -93,6 +93,12 @@ class ModelLib {
 
   const std::string& path() const { return path_; }
 
+  // Process-wide count of successful library loads — the "did this request
+  // dlopen anything fresh" regression handle, mirroring
+  // CompilerDriver::compilerInvocations(): the model-library pool's
+  // warm-hit guarantee is `loadCount()` unchanged across the request.
+  static long loadCount();
+
  private:
   std::string path_;
   void* handle_ = nullptr;

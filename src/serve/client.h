@@ -1,0 +1,66 @@
+// Client side of the accmosd protocol: connect, handshake, and issue
+// run/campaign/stats/shutdown requests (docs/SERVICE.md). Backs the
+// `accmos client` subcommand and the serve test/bench suites.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/json.h"
+#include "serve/lib_pool.h"
+#include "sim/campaign.h"
+#include "sim/options.h"
+#include "sim/result.h"
+#include "sim/testcase.h"
+
+namespace accmos::serve {
+
+// What the daemon reports about how it served a request — the client's
+// window into pool behaviour ("was my model already warm?").
+struct ServiceMeta {
+  bool poolHit = false;
+  PoolStats pool;
+};
+
+class ServeClient {
+ public:
+  // Connects to the daemon's unix socket and performs the versioned hello
+  // handshake. Throws ProtocolError when the socket cannot be reached or
+  // the daemon speaks a different protocol version.
+  explicit ServeClient(const std::string& socketPath);
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  // Daemon identity from the hello response.
+  const std::string& daemonVersion() const { return daemonVersion_; }
+  uint64_t daemonAbi() const { return daemonAbi_; }
+
+  // One simulation of `modelText` (model XML) under `spec`. The result is
+  // bit-identical to local execution of the same model/options/spec.
+  SimulationResult run(const std::string& modelText, const SimOptions& opt,
+                       const TestCaseSpec& spec, ServiceMeta* meta = nullptr);
+
+  // A heterogeneous spec campaign, merged daemon-side by the same
+  // deterministic seed-order merge the local CLI uses.
+  CampaignResult campaign(const std::string& modelText, const SimOptions& opt,
+                          const std::vector<TestCaseSpec>& specs,
+                          ServiceMeta* meta = nullptr);
+
+  // Raw stats document (pool, scheduler, compiler counters).
+  Json stats();
+
+  // Ask the daemon to shut down gracefully (in-flight requests finish).
+  void shutdown();
+
+ private:
+  Json request(const Json& req);
+
+  int fd_ = -1;
+  std::string daemonVersion_;
+  uint64_t daemonAbi_ = 0;
+};
+
+}  // namespace accmos::serve

@@ -1,0 +1,84 @@
+// accmosd: the resident simulation service (docs/SERVICE.md).
+//
+// A Daemon owns a unix-domain listening socket, a model-library pool
+// (lib_pool.h) and a request scheduler (scheduler.h). Each accepted
+// connection gets a lightweight frame-parsing thread; simulation work is
+// executed on the shared scheduler so daemon load stays bounded by the
+// worker count regardless of client count. Results are computed by the
+// same campaign/evaluator machinery the CLI uses locally — bit-identical
+// by construction, with PR 7 fault containment (quarantine, deadlines,
+// degradation ladder) keeping a hostile model from taking the daemon or
+// other clients' requests down.
+//
+// Shutdown is graceful from three directions — `client shutdown`, SIGTERM/
+// SIGINT (the CLI installs handlers that raise the cooperative interrupt
+// flag), or shutdown() from another thread: the listener closes, in-flight
+// requests finish (an interrupted campaign returns its partial prefix with
+// `interrupted` set), idle connections are dropped, and run() returns.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/lib_pool.h"
+#include "serve/scheduler.h"
+
+namespace accmos::serve {
+
+struct ServeOptions {
+  std::string socketPath;
+  // Concurrent request slots on the shared scheduler (0 = one per
+  // hardware thread). Campaign-internal worker pools are the request's
+  // own `workers` option; this bounds how many requests run at once.
+  size_t requestWorkers = 0;
+  // Model-library pool byte budget (0 = unbounded). The default keeps a
+  // healthy working set while guaranteeing the pool cannot grow without
+  // bound under model-diverse traffic.
+  uint64_t poolBudgetBytes = 512ull << 20;
+};
+
+class Daemon {
+ public:
+  // Binds and listens on opt.socketPath (an existing socket file is
+  // replaced — accmosd owns its path). Throws ProtocolError when the
+  // socket cannot be created.
+  explicit Daemon(const ServeOptions& opt);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  // Serves until shutdown() is called (by `client shutdown`, another
+  // thread, or a SIGTERM/SIGINT raising the cooperative interrupt flag),
+  // then drains connections and returns.
+  void run();
+
+  // Thread-safe, idempotent: stop accepting, wake the accept loop, cut
+  // idle connections loose. In-flight requests still complete.
+  void shutdown();
+
+  const ServeOptions& options() const { return opt_; }
+  PoolStats poolStats() const { return pool_.stats(); }
+  const Scheduler& scheduler() const { return scheduler_; }
+
+ private:
+  void handleConnection(int fd);
+  std::string dispatch(const std::string& requestText, bool* wantShutdown);
+
+  ServeOptions opt_;
+  int listenFd_ = -1;
+  ModelLibPool pool_;
+  Scheduler scheduler_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex connMutex_;
+  std::vector<int> connFds_;
+  std::vector<std::thread> connThreads_;
+};
+
+}  // namespace accmos::serve

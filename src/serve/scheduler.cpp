@@ -1,0 +1,92 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "ir/model.h"
+
+namespace accmos::serve {
+
+Scheduler::Scheduler(size_t workers) {
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  stop();
+  for (auto& t : threads_) t.join();
+}
+
+std::future<std::string> Scheduler::submit(std::function<std::string()> job) {
+  Job j;
+  j.fn = std::move(job);
+  std::future<std::string> fut = j.result.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw ModelError("scheduler is shutting down; request refused");
+    }
+    queue_.push_back(std::move(j));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void Scheduler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+}
+
+uint64_t Scheduler::executed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return executed_;
+}
+
+uint64_t Scheduler::peakInFlight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peakInFlight_;
+}
+
+void Scheduler::workerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++inFlight_;
+      peakInFlight_ = std::max(peakInFlight_, inFlight_);
+    }
+    std::string out;
+    std::exception_ptr err;
+    try {
+      out = job.fn();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --inFlight_;
+      ++executed_;
+    }
+    // Settle the promise only after the counters are updated: a client
+    // whose response has arrived must find itself in `executed`.
+    if (err) {
+      job.result.set_exception(err);
+    } else {
+      job.result.set_value(std::move(out));
+    }
+  }
+}
+
+}  // namespace accmos::serve

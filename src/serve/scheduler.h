@@ -1,0 +1,74 @@
+// The accmosd request scheduler: one shared worker pool multiplexing
+// run/campaign/stats requests from every connected client.
+//
+// Connection threads only parse frames; the actual simulation work is
+// submitted here, so total daemon load is bounded by the worker count no
+// matter how many clients connect, and a queue of pending requests drains
+// in FIFO order. Each submitted job yields a future the connection thread
+// waits on — responses stay in per-connection request order by
+// construction. Campaign jobs fan out further through SpecEvaluator's own
+// worker pool; the scheduler bounds how many such requests are in flight,
+// not their internal parallelism.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace accmos::serve {
+
+class Scheduler {
+ public:
+  // workers == 0 selects one worker per hardware thread.
+  explicit Scheduler(size_t workers);
+  // Stops accepting new work, drains already-queued jobs, joins workers —
+  // a `client shutdown` never strands an accepted request.
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Enqueues a job; the future carries its return value or exception.
+  // Throws ModelError after stop() — the daemon refuses work it could
+  // never run.
+  std::future<std::string> submit(std::function<std::string()> job);
+
+  // Stop accepting work and wake idle workers; running jobs complete.
+  void stop();
+
+  size_t workers() const { return threads_.size(); }
+  // Completed jobs. Updated BEFORE a job's future is satisfied, so any
+  // observer who already received a response sees that request counted —
+  // `accmos client stats` straight after a campaign reads a stable number.
+  uint64_t executed() const;
+  // High-water mark of concurrently running jobs — the bounded-concurrency
+  // regression handle (tests assert it never exceeds workers()).
+  uint64_t peakInFlight() const;
+
+ private:
+  void workerLoop();
+
+  // A job and the promise its submitter waits on. Not a packaged_task:
+  // the worker settles the promise itself, after bookkeeping, so the
+  // executed/inFlight counters are already updated when the waiter wakes.
+  struct Job {
+    std::function<std::string()> fn;
+    std::promise<std::string> result;
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  std::vector<std::thread> threads_;
+  bool stopping_ = false;
+  uint64_t executed_ = 0;
+  uint64_t inFlight_ = 0;
+  uint64_t peakInFlight_ = 0;
+};
+
+}  // namespace accmos::serve

@@ -12,6 +12,7 @@
 #include "codegen/compiler_driver.h"
 #include "interp/interpreter.h"
 #include "opt/pipeline.h"
+#include "sim/interrupt.h"
 #include "sim/tiered_engine.h"
 
 namespace accmos {
@@ -116,6 +117,12 @@ bool SpecEvaluator::allCompileCacheHits() const {
   return true;
 }
 
+size_t SpecEvaluator::residentBytes() const {
+  size_t bytes = 0;
+  for (const auto& [key, e] : engines_) bytes += e->residentBytes();
+  return bytes;
+}
+
 // Runs every spec, storing the result at the spec's index. With more than
 // one worker, specs are pulled from a shared counter by a pool of threads:
 // the SSE engine gets one persistent interpreter instance per worker; the
@@ -134,22 +141,26 @@ bool SpecEvaluator::allCompileCacheHits() const {
 // scalar path, so the spec-order merge downstream is unchanged — campaign
 // output stays deterministic for any worker count and any lane width.
 std::vector<SimulationResult> SpecEvaluator::evaluate(
-    const std::vector<TestCaseSpec>& specs) {
+    const std::vector<TestCaseSpec>& specs, std::vector<uint8_t>* done) {
   if (specs.empty()) {
     throw ModelError("spec batch evaluation needs at least one test case");
   }
   for (const auto& spec : specs) spec.validate();
+  if (done != nullptr) done->assign(specs.size(), 0);
 
   // Time-to-first-result is measured from here: the serial engine build
   // below is exactly the synchronous compile that Tier::Auto overlaps
-  // away, so it must count against the metric.
+  // away, so it must count against the metric. Reset per call so a pooled
+  // evaluator reports each batch's own latency (callers never overlap
+  // evaluate() calls on one evaluator; the pool serializes per entry).
   const auto evalStart = std::chrono::steady_clock::now();
+  firstResultSeen_.store(false, std::memory_order_relaxed);
   auto markFirstResult = [&] {
-    std::call_once(firstResultOnce_, [&] {
+    if (!firstResultSeen_.exchange(true, std::memory_order_relaxed)) {
       firstResultSeconds_ = std::chrono::duration<double>(
                                 std::chrono::steady_clock::now() - evalStart)
                                 .count();
-    });
+    }
   };
 
   // AccMoS: build (or reuse) the per-shape engines serially before the
@@ -195,6 +206,12 @@ std::vector<SimulationResult> SpecEvaluator::evaluate(
   auto runRange = [&](size_t worker, std::atomic<size_t>& next,
                       std::exception_ptr& error, std::mutex& errMutex) {
     for (;;) {
+      // Interruptible batches stop CLAIMING here but always finish a
+      // claimed chunk, so claims — handed out by the monotonic counter —
+      // cover a prefix of the spec order and every claim completes: the
+      // finished set is a contiguous prefix, which makes the partial
+      // merge downstream well-defined.
+      if (done != nullptr && interruptRequested()) break;
       size_t k0 = next.fetch_add(chunk);
       if (k0 >= specs.size()) break;
       size_t k1 = std::min(specs.size(), k0 + chunk);
@@ -233,6 +250,9 @@ std::vector<SimulationResult> SpecEvaluator::evaluate(
             g0 = g1;
           }
         }
+        if (done != nullptr) {
+          for (size_t k = k0; k < k1; ++k) (*done)[k] = 1;
+        }
       } catch (...) {
         std::lock_guard<std::mutex> lock(errMutex);
         if (!error) error = std::current_exception();
@@ -258,39 +278,43 @@ std::vector<SimulationResult> SpecEvaluator::evaluate(
   return out;
 }
 
-CampaignResult runCampaignSpecs(const FlatModel& fm, const SimOptions& opt,
-                                const std::vector<TestCaseSpec>& specs) {
+CampaignResult runCampaignSpecsOn(
+    const FlatModel& model, SpecEvaluator& evaluator, const SimOptions& opt,
+    const std::vector<TestCaseSpec>& specs, const OptStats& optStats,
+    std::optional<std::chrono::steady_clock::time_point> wallStart) {
   checkInstrumentedEngine(opt);
   if (specs.empty()) {
     throw ModelError("test campaign needs at least one test case");
   }
 
-  auto wall0 = std::chrono::steady_clock::now();
+  const auto wall0 = wallStart.value_or(std::chrono::steady_clock::now());
   CampaignResult out;
-
-  // Optimize once for the whole campaign; every spec runs the same model,
-  // so the pipeline cost amortizes exactly like the one-off compiles below.
-  FlatModel optimized;
-  const FlatModel* model = &fm;
-  if (opt.optimize) {
-    optimized = optimizeModel(fm, opt, &out.optStats);
-    model = &optimized;
-  }
+  out.optStats = optStats;
 
   CoveragePlan plan = CoveragePlan::build(
-      *model, [](const FlatActor& fa) { return covTraitsFor(fa); });
+      model, [](const FlatActor& fa) { return covTraitsFor(fa); });
   out.mergedBitmaps = CoverageRecorder(plan);
   out.workersUsed = resolveWorkers(opt, specs.size());
 
-  SpecEvaluator evaluator(*model, opt);
+  // One-off cost fields are reported as deltas across this call, so a
+  // warm pooled evaluator (daemon repeat request) truthfully reports zero
+  // generation/compile/load work; a fresh evaluator reports the classic
+  // totals since every counter starts at zero.
+  const size_t built0 = evaluator.enginesBuilt();
+  const double generate0 = evaluator.generateSeconds();
+  const double compile0 = evaluator.compileSeconds();
+  const double load0 = evaluator.loadSeconds();
+  const double wait0 = evaluator.compileWaitSeconds();
+
   const auto evalStart = std::chrono::steady_clock::now();
-  std::vector<SimulationResult> results = evaluator.evaluate(specs);
-  out.generateSeconds = evaluator.generateSeconds();
-  out.compileSeconds = evaluator.compileSeconds();
-  out.loadSeconds = evaluator.loadSeconds();
-  out.compileWaitSeconds = evaluator.compileWaitSeconds();
+  std::vector<uint8_t> done;
+  std::vector<SimulationResult> results = evaluator.evaluate(specs, &done);
+  out.generateSeconds = evaluator.generateSeconds() - generate0;
+  out.compileSeconds = evaluator.compileSeconds() - compile0;
+  out.loadSeconds = evaluator.loadSeconds() - load0;
+  out.compileWaitSeconds = evaluator.compileWaitSeconds() - wait0;
   out.compileCacheHit =
-      evaluator.enginesBuilt() > 0 && evaluator.allCompileCacheHits();
+      evaluator.enginesBuilt() > built0 && evaluator.allCompileCacheHits();
   if (evaluator.timeToFirstResultSeconds() >= 0.0) {
     // Campaign-relative: the flatten/optimize prelude plus the evaluator's
     // own start-to-first-result span.
@@ -299,13 +323,20 @@ CampaignResult runCampaignSpecs(const FlatModel& fm, const SimOptions& opt,
         evaluator.timeToFirstResultSeconds();
   }
 
+  // A cooperative interrupt stops the batch after a prefix of the specs;
+  // the merge below then covers exactly that prefix (partial results are
+  // flushed, and each prefix row matches the uninterrupted campaign's).
+  size_t completed = 0;
+  while (completed < specs.size() && done[completed] != 0) ++completed;
+  out.interrupted = completed < specs.size();
+
   // Merge strictly in spec order: coverage-bitmap unions, diagnostic
   // deduplication and the per-spec cumulative reports are computed exactly
   // as a sequential run would, so the campaign outcome is independent of
   // the execution interleaving above.
   std::map<std::tuple<int, DiagKind, std::string>, DiagRecord> merged;
-  out.perSeed.reserve(specs.size());
-  for (size_t k = 0; k < specs.size(); ++k) {
+  out.perSeed.reserve(completed);
+  for (size_t k = 0; k < completed; ++k) {
     const SimulationResult& res = results[k];
     if (res.failed) {
       // Contained failure: record it, contribute nothing to the merge.
@@ -366,6 +397,29 @@ CampaignResult runCampaignSpecs(const FlatModel& fm, const SimOptions& opt,
   auto wall1 = std::chrono::steady_clock::now();
   out.wallSeconds = std::chrono::duration<double>(wall1 - wall0).count();
   return out;
+}
+
+CampaignResult runCampaignSpecs(const FlatModel& fm, const SimOptions& opt,
+                                const std::vector<TestCaseSpec>& specs) {
+  checkInstrumentedEngine(opt);
+  if (specs.empty()) {
+    throw ModelError("test campaign needs at least one test case");
+  }
+
+  const auto wall0 = std::chrono::steady_clock::now();
+
+  // Optimize once for the whole campaign; every spec runs the same model,
+  // so the pipeline cost amortizes exactly like the one-off compiles.
+  OptStats optStats;
+  FlatModel optimized;
+  const FlatModel* model = &fm;
+  if (opt.optimize) {
+    optimized = optimizeModel(fm, opt, &optStats);
+    model = &optimized;
+  }
+
+  SpecEvaluator evaluator(*model, opt);
+  return runCampaignSpecsOn(*model, evaluator, opt, specs, optStats, wall0);
 }
 
 CampaignResult runCampaign(const FlatModel& fm, const SimOptions& opt,

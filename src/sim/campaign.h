@@ -19,10 +19,12 @@
 // the sequential scalar run for any worker count and any lane width.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -90,6 +92,15 @@ struct CampaignResult {
   // The optimization pipeline runs once per campaign (not per seed);
   // ran == false when SimOptions::optimize was off.
   OptStats optStats;
+
+  // A cooperative interrupt (SIGINT/SIGTERM → sim/interrupt.h) stopped the
+  // campaign early. perSeed/failures/merges then cover exactly the specs
+  // that finished — always a contiguous prefix of the batch, because
+  // workers claim chunks from a monotonic counter and complete every chunk
+  // they claim — and every reported row is bit-identical to the same row
+  // of an uninterrupted campaign. The CLI flushes these partial results
+  // and exits with its documented interrupt code (docs/ROBUSTNESS.md).
+  bool interrupted = false;
 };
 
 // Runs `opt.maxSteps` steps per seed for each seed in `seeds`, using
@@ -109,6 +120,26 @@ CampaignResult runCampaign(const FlatModel& fm, const SimOptions& opt,
 // per spec, in spec order; its `seed` field is the spec's seed.
 CampaignResult runCampaignSpecs(const FlatModel& fm, const SimOptions& opt,
                                 const std::vector<TestCaseSpec>& specs);
+
+class SpecEvaluator;
+
+// The campaign loop over a CALLER-OWNED evaluator — the resident-service
+// entry point. `model` must be the (already optimized, if desired) model
+// the evaluator was constructed on, and `optStats` whatever the caller's
+// one-time optimization pass reported. One-off cost fields of the result
+// (generate/compile/load/compileWait seconds, enginesBuilt-derived
+// compileCacheHit) are DELTAS across this call: with a fresh evaluator
+// they equal the classic totals (runCampaignSpecs delegates here), while
+// a pooled evaluator whose engines are already warm reports them as zero
+// — the accmosd warm-hit guarantee made visible in the result itself.
+// The run is cooperatively interruptible (see CampaignResult::interrupted).
+// `wallStart` backdates wallSeconds/timeToFirstResult to include caller
+// prelude work (flatten/optimize); omitted, the clock starts here.
+CampaignResult runCampaignSpecsOn(
+    const FlatModel& model, SpecEvaluator& evaluator, const SimOptions& opt,
+    const std::vector<TestCaseSpec>& specs, const OptStats& optStats,
+    std::optional<std::chrono::steady_clock::time_point> wallStart =
+        std::nullopt);
 
 // The batch-evaluation primitive under runCampaignSpecs, reusable across
 // batches: the coverage-guided generator holds one evaluator for the whole
@@ -144,7 +175,33 @@ class SpecEvaluator {
   // Validates and runs every spec for opt.maxSteps, fanning the batch over
   // opt.campaign.workers workers; out[k] is spec k's result regardless of
   // worker count or interleaving.
-  std::vector<SimulationResult> evaluate(const std::vector<TestCaseSpec>& specs);
+  //
+  // When `done` is non-null the batch becomes cooperatively interruptible:
+  // workers stop claiming new chunks once interruptRequested()
+  // (sim/interrupt.h) reads true, finish every chunk already claimed, and
+  // done->at(k) is set for exactly the completed specs — always a
+  // contiguous prefix, because chunk claims come from a monotonic counter.
+  // A null `done` (the default, and what the deterministic generator loop
+  // uses) ignores the interrupt flag entirely.
+  std::vector<SimulationResult> evaluate(const std::vector<TestCaseSpec>& specs,
+                                         std::vector<uint8_t>* done = nullptr);
+
+  // Re-targets the worker count for subsequent evaluate() calls. The
+  // daemon's model-library pool keeps one evaluator per model and serves
+  // requests with differing worker counts from it — legal because worker
+  // count never changes observations, only scheduling.
+  void setWorkers(size_t workers) { opt_.campaign.workers = workers; }
+
+  // The per-shape compiled engine for `spec`, building (or async-enqueuing
+  // under Tier::Auto) on first use. Exposed for the daemon's single-run
+  // path, which answers `client run` straight off the pooled engine;
+  // batch callers go through evaluate(). AccMoS only.
+  class TieredEngine* engineFor(const TestCaseSpec& spec);
+
+  // Approximate bytes held resident by the cached per-shape engines
+  // (generated sources + loaded artifacts) — what the model-library pool
+  // charges against its byte budget.
+  size_t residentBytes() const;
 
   // AccMoS bookkeeping (all zero / true for SSE). Computed over the live
   // per-shape engines rather than snapshotted at construction, because
@@ -158,19 +215,19 @@ class SpecEvaluator {
   // CampaignResult::compileWaitSeconds).
   double compileWaitSeconds() const;
   bool allCompileCacheHits() const;
-  // Wall seconds from the start of the first evaluate() call until its
-  // first spec result landed; negative before any evaluate() ran.
+  // Wall seconds from the start of the most recent evaluate() call until
+  // its first spec result landed; negative before any evaluate() ran.
+  // Per-call (not lifetime) so a pooled evaluator reports each request's
+  // own cold/warm latency.
   double timeToFirstResultSeconds() const { return firstResultSeconds_; }
 
  private:
-  class TieredEngine* engineFor(const TestCaseSpec& spec);
-
   const FlatModel& fm_;
   SimOptions opt_;
   std::map<std::string, std::unique_ptr<class TieredEngine>> engines_;
   std::vector<std::unique_ptr<class Interpreter>> interps_;  // per worker
   size_t enginesBuilt_ = 0;
-  std::once_flag firstResultOnce_;
+  std::atomic<bool> firstResultSeen_{false};
   double firstResultSeconds_ = -1.0;
 };
 

@@ -1,0 +1,19 @@
+#include "sim/interrupt.h"
+
+#include <atomic>
+
+namespace accmos {
+
+namespace {
+std::atomic<bool> g_interrupt{false};
+}  // namespace
+
+void requestInterrupt() { g_interrupt.store(true, std::memory_order_relaxed); }
+
+bool interruptRequested() {
+  return g_interrupt.load(std::memory_order_relaxed);
+}
+
+void clearInterrupt() { g_interrupt.store(false, std::memory_order_relaxed); }
+
+}  // namespace accmos

@@ -1,5 +1,7 @@
 #include "sim/tiered_engine.h"
 
+#include <sys/stat.h>
+
 #include <chrono>
 #include <utility>
 
@@ -193,6 +195,19 @@ double TieredEngine::loadSeconds() const {
 double TieredEngine::compileWaitSeconds() const {
   std::lock_guard<std::mutex> lock(buildMutex_);
   return compileWaitSeconds_;
+}
+
+size_t TieredEngine::residentBytes() const {
+  size_t bytes = gen_.source.size();
+  std::lock_guard<std::mutex> lock(buildMutex_);
+  if (nativeOwned_) {
+    bytes += nativeOwned_->generatedSource().size();
+    struct stat st {};
+    if (::stat(nativeOwned_->exePath().c_str(), &st) == 0 && st.st_size > 0) {
+      bytes += static_cast<size_t>(st.st_size);
+    }
+  }
+  return bytes;
 }
 
 bool TieredEngine::compileCacheHit() const {

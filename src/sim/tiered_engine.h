@@ -100,6 +100,13 @@ class TieredEngine {
   bool compileCacheHit() const;
   const std::string& nativeError() const;  // empty unless nativeFailed()
 
+  // Approximate bytes this engine keeps resident: the generated source it
+  // holds plus the on-disk size of the adopted native artifact (the mapped
+  // shared library / executable). The model-library pool (src/serve)
+  // charges entries against its byte budget with this — an estimate is
+  // fine, eviction only needs a consistent relative measure.
+  size_t residentBytes() const;
+
   // Runs answered by each tier so far.
   uint64_t interpRuns() const {
     return interpRuns_.load(std::memory_order_relaxed);

@@ -9,6 +9,15 @@
 //                   [--workers=W]             multi-seed coverage campaign
 //                                             (W workers; 0 = all cores)
 //   accmos export-suite <dir>                   write the benchmark models
+//   accmos serve --socket=PATH                  resident simulation daemon
+//                [--pool-budget=BYTES]          (accmosd, docs/SERVICE.md);
+//                [--request-workers=N]          0 budget = unbounded pool
+//   accmos client <run|campaign> <model.xml> --socket=PATH [options]
+//   accmos client <stats|shutdown> --socket=PATH
+//                                               run against a daemon: same
+//                                               options, output and exit
+//                                               codes as local execution
+//   accmos --version                            build/ABI/protocol identity
 //
 // run options:
 //   --engine=accmos|sse|sseac|sserac   (default accmos)
@@ -47,6 +56,7 @@
 //   5  generated-code compile error                6  generated model crashed
 //   7  run timed out (deadline or step budget)
 //   8  campaign/testgen completed but contained per-seed failures
+//   9  campaign interrupted (SIGINT/SIGTERM): partial results were flushed
 //
 // gen --budget options (testgen mode; presence of --budget selects it):
 //   --budget=N           candidate evaluations (the search budget)
@@ -57,11 +67,13 @@
 //   --engine=sse|accmos  evaluation engine (default accmos)
 //   --steps=N --workers=W --batch-lanes=N --no-opt --show-uncovered   as
 //                        above
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -73,8 +85,13 @@
 #include "gen/generator.h"
 #include "opt/pipeline.h"
 #include "parser/model_io.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/protocol.h"
+#include "serve/version.h"
 #include "sim/campaign.h"
 #include "sim/failure.h"
+#include "sim/interrupt.h"
 #include "sim/simulator.h"
 
 namespace accmos::cli {
@@ -106,10 +123,16 @@ int usage() {
                "[--tier=native|auto|interp] [--timeout=SEC] "
                "[--step-budget=N] [--show-uncovered]\n"
                "  accmos export-suite <directory>\n"
+               "  accmos serve --socket=PATH [--pool-budget=BYTES] "
+               "[--request-workers=N]\n"
+               "  accmos client <run|campaign> <model.xml> --socket=PATH "
+               "[run/campaign options]\n"
+               "  accmos client <stats|shutdown> --socket=PATH\n"
+               "  accmos --version\n"
                "exit codes: 0 ok, 1 internal, 2 usage, 3 diagnostics, "
                "4 model-load, 5 compile,\n"
                "            6 crash, 7 timeout, 8 campaign with contained "
-               "failures\n");
+               "failures, 9 interrupted\n");
   return 2;
 }
 
@@ -177,6 +200,29 @@ bool parseExecMode(const std::string& v, SimOptions* opt) {
     return false;
   }
   return true;
+}
+
+// SIGINT/SIGTERM raise the cooperative interrupt flag (sim/interrupt.h):
+// campaign workers finish the seed chunks they already claimed, the CLI
+// flushes the partial results and exits with code 9; accmosd drains
+// in-flight requests and shuts down like `client shutdown`. Installed only
+// for the cooperative commands (campaign, serve) — everything else keeps
+// the default terminate-on-signal behaviour.
+void onInterruptSignal(int) { requestInterrupt(); }
+
+void installInterruptHandlers() {
+  std::signal(SIGINT, onInterruptSignal);
+  std::signal(SIGTERM, onInterruptSignal);
+}
+
+// Raw file bytes — the model text a client ships to the daemon verbatim
+// (the daemon parses it; the pool keys on the exact text).
+std::string readFileText(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ModelLoadError("cannot read model " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
 }
 
 // Resolves accumulated bitmaps back to the coverage points never reached.
@@ -362,12 +408,20 @@ int cmdTestGen(const std::string& path,
   return gr.failures.empty() ? 0 : 8;
 }
 
-int cmdRun(const std::string& path, const std::vector<std::string>& args) {
+// Parsed `run` command line, shared between local `accmos run` and
+// `accmos client run` so both accept identical options.
+struct RunArgs {
   SimOptions opt;
-  opt.engine = Engine::AccMoS;
-  opt.maxSteps = 100000;
   TestCaseSpec tests;
   bool showUncovered = false;
+  bool explicitTests = false;  // --tests/--seed override embedded stimulus
+};
+
+// Returns 0 on success, 2 (after printing) on a bad flag.
+int parseRunArgs(const std::vector<std::string>& args, RunArgs* ra) {
+  SimOptions& opt = ra->opt;
+  opt.engine = Engine::AccMoS;
+  opt.maxSteps = 100000;
   std::string v;
   for (const auto& arg : args) {
     if (flagValue(arg, "--engine", &v)) {
@@ -384,9 +438,11 @@ int cmdRun(const std::string& path, const std::vector<std::string>& args) {
     } else if (flagValue(arg, "--budget", &v)) {
       opt.timeBudgetSec = std::strtod(v.c_str(), nullptr);
     } else if (flagValue(arg, "--tests", &v)) {
-      tests = TestCaseSpec::fromCsv(v);
+      ra->tests = TestCaseSpec::fromCsv(v);
+      ra->explicitTests = true;
     } else if (flagValue(arg, "--seed", &v)) {
-      tests.seed = std::strtoull(v.c_str(), nullptr, 10);
+      ra->tests.seed = std::strtoull(v.c_str(), nullptr, 10);
+      ra->explicitTests = true;
     } else if (flagValue(arg, "--collect", &v)) {
       opt.collectList.push_back(v);
     } else if (flagValue(arg, "--opt", &v)) {
@@ -410,7 +466,7 @@ int cmdRun(const std::string& path, const std::vector<std::string>& args) {
     } else if (arg == "--stop-on-diagnostic") {
       opt.stopOnDiagnostic = true;
     } else if (arg == "--show-uncovered") {
-      showUncovered = true;
+      ra->showUncovered = true;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return 2;
@@ -420,18 +476,39 @@ int cmdRun(const std::string& path, const std::vector<std::string>& args) {
     opt.coverage = false;
     opt.diagnosis = false;
   }
+  return 0;
+}
+
+// The run report, shared between local and client execution so the two
+// paths print byte-identical output for identical results (the CI daemon
+// smoke test diffs them). Returns the exit code.
+int printRunResult(const SimulationResult& res, const SimOptions& opt);
+
+int cmdRun(const std::string& path, const std::vector<std::string>& args) {
+  RunArgs ra;
+  if (int rc = parseRunArgs(args, &ra); rc != 0) return rc;
+  const SimOptions& opt = ra.opt;
 
   LoadedModel loaded = loadModelCli(path);
   // An embedded <stimulus> is the default; --tests/--seed override it.
-  bool explicitTests = false;
-  for (const auto& arg : args) {
-    explicitTests = explicitTests || arg.rfind("--tests=", 0) == 0 ||
-                    arg.rfind("--seed=", 0) == 0;
-  }
-  if (loaded.stimulus && !explicitTests) tests = *loaded.stimulus;
+  if (loaded.stimulus && !ra.explicitTests) ra.tests = *loaded.stimulus;
   Simulator sim(*loaded.model);
-  auto res = sim.run(opt, tests);
+  auto res = sim.run(opt, ra.tests);
 
+  int code = printRunResult(res, opt);
+  if (ra.showUncovered) {
+    if (!res.hasCoverage) {
+      std::fprintf(stderr,
+                   "--show-uncovered needs coverage (an instrumented "
+                   "engine, without --no-coverage)\n");
+      return 2;
+    }
+    printUncovered(sim.flatModel(), opt, res.bitmaps);
+  }
+  return code;
+}
+
+int printRunResult(const SimulationResult& res, const SimOptions& opt) {
   std::printf("engine   : %s\n",
               std::string(engineName(opt.engine)).c_str());
   std::printf("optimize : %s\n", res.optStats.summary().c_str());
@@ -477,15 +554,6 @@ int cmdRun(const std::string& path, const std::vector<std::string>& args) {
                 static_cast<unsigned long long>(d.count),
                 d.message.c_str());
   }
-  if (showUncovered) {
-    if (!res.hasCoverage) {
-      std::fprintf(stderr,
-                   "--show-uncovered needs coverage (an instrumented "
-                   "engine, without --no-coverage)\n");
-      return 2;
-    }
-    printUncovered(sim.flatModel(), opt, res.bitmaps);
-  }
   // A retired (timed-out) run outranks "finished with diagnostics": its
   // observations stop at the retirement point, so they are not the full
   // story the diagnostics exit code promises.
@@ -493,17 +561,23 @@ int cmdRun(const std::string& path, const std::vector<std::string>& args) {
   return res.diagnostics.empty() ? 0 : 3;
 }
 
-int cmdCampaign(const std::string& path,
-                const std::vector<std::string>& args) {
+// Parsed `campaign` command line, shared between local `accmos campaign`
+// and `accmos client campaign`.
+struct CampaignArgs {
   SimOptions opt;
-  opt.engine = Engine::AccMoS;
-  opt.maxSteps = 100000;
   int numSeeds = 8;
   bool showUncovered = false;
+};
+
+int parseCampaignArgs(const std::vector<std::string>& args,
+                      CampaignArgs* ca) {
+  SimOptions& opt = ca->opt;
+  opt.engine = Engine::AccMoS;
+  opt.maxSteps = 100000;
   std::string v;
   for (const auto& arg : args) {
     if (flagValue(arg, "--seeds", &v)) {
-      numSeeds = static_cast<int>(std::strtol(v.c_str(), nullptr, 10));
+      ca->numSeeds = static_cast<int>(std::strtol(v.c_str(), nullptr, 10));
     } else if (flagValue(arg, "--steps", &v)) {
       opt.maxSteps = std::strtoull(v.c_str(), nullptr, 10);
     } else if (flagValue(arg, "--workers", &v)) {
@@ -528,19 +602,29 @@ int cmdCampaign(const std::string& path,
     } else if (arg == "--no-opt") {
       opt.optimize = false;
     } else if (arg == "--show-uncovered") {
-      showUncovered = true;
+      ca->showUncovered = true;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return 2;
     }
   }
-  LoadedModel loaded = loadModelCli(path);
-  TestCaseSpec base = loaded.stimulus.value_or(TestCaseSpec{});
-  Simulator sim(*loaded.model);
+  return 0;
+}
+
+// The campaign seed schedule: deterministic, so a client can reconstruct
+// the exact spec batch `accmos campaign --seeds=N` would run locally.
+std::vector<uint64_t> campaignSeeds(int numSeeds) {
   std::vector<uint64_t> seeds;
   for (int k = 0; k < numSeeds; ++k) seeds.push_back(1000 + 37 * k);
+  return seeds;
+}
 
-  CampaignResult cr = runCampaign(sim.flatModel(), opt, base, seeds);
+// The campaign report, shared between local and client execution so the
+// two paths print byte-identical tables for identical results (the CI
+// daemon smoke test diffs them). Returns the exit code, including 9 for
+// an interrupted (partial) campaign.
+int printCampaign(const CampaignResult& cr, const SimOptions& opt,
+                  int numSeeds) {
   std::printf("campaign : %d seeds x %llu steps on %s, %zu worker(s)\n",
               numSeeds, static_cast<unsigned long long>(opt.maxSteps),
               std::string(engineName(opt.engine)).c_str(), cr.workersUsed);
@@ -583,10 +667,36 @@ int cmdCampaign(const std::string& path,
                 static_cast<unsigned long long>(d.count));
   }
   printFailures(cr.failures);
-  if (showUncovered) printUncovered(sim.flatModel(), opt, cr.mergedBitmaps);
+  if (cr.interrupted) {
+    std::printf("interrupt: stopped early — %zu of %d seed(s) finished; "
+                "partial results above are bit-identical to the same "
+                "prefix of a full campaign\n",
+                cr.perSeed.size(), numSeeds);
+    return 9;
+  }
   // The campaign itself completed — per-seed faults were contained — but
   // the merged result is missing the failed seeds' contributions.
   return cr.failures.empty() ? 0 : 8;
+}
+
+int cmdCampaign(const std::string& path,
+                const std::vector<std::string>& args) {
+  CampaignArgs ca;
+  if (int rc = parseCampaignArgs(args, &ca); rc != 0) return rc;
+  LoadedModel loaded = loadModelCli(path);
+  TestCaseSpec base = loaded.stimulus.value_or(TestCaseSpec{});
+  Simulator sim(*loaded.model);
+
+  // Ctrl-C / SIGTERM stop the campaign cooperatively: finished seeds are
+  // flushed below and the exit code says the table is a prefix.
+  installInterruptHandlers();
+  CampaignResult cr = runCampaign(sim.flatModel(), ca.opt, base,
+                                  campaignSeeds(ca.numSeeds));
+  int code = printCampaign(cr, ca.opt, ca.numSeeds);
+  if (ca.showUncovered) {
+    printUncovered(sim.flatModel(), ca.opt, cr.mergedBitmaps);
+  }
+  return code;
 }
 
 int cmdExportSuite(const std::string& dir) {
@@ -610,10 +720,218 @@ int cmdExportSuite(const std::string& dir) {
   return 0;
 }
 
+// accmos serve --socket=PATH: run accmosd in the foreground until a
+// `client shutdown` request or SIGTERM/SIGINT (graceful either way).
+int cmdServe(const std::vector<std::string>& args) {
+  serve::ServeOptions sopt;
+  std::string v;
+  for (const auto& arg : args) {
+    if (flagValue(arg, "--socket", &v)) {
+      sopt.socketPath = v;
+    } else if (flagValue(arg, "--pool-budget", &v)) {
+      sopt.poolBudgetBytes = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flagValue(arg, "--request-workers", &v)) {
+      sopt.requestWorkers = std::strtoull(v.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (sopt.socketPath.empty()) {
+    std::fprintf(stderr, "serve needs --socket=PATH\n");
+    return 2;
+  }
+
+  installInterruptHandlers();
+  serve::Daemon daemon(sopt);
+  std::printf("accmosd  : accmos %s protocol v%u, listening on %s\n",
+              serve::kAccmosVersion, serve::kProtocolVersion,
+              sopt.socketPath.c_str());
+  std::printf("accmosd  : %zu request worker(s), pool budget %llu bytes%s\n",
+              daemon.scheduler().workers(),
+              static_cast<unsigned long long>(sopt.poolBudgetBytes),
+              sopt.poolBudgetBytes == 0 ? " (unbounded)" : "");
+  std::fflush(stdout);
+  daemon.run();
+  serve::PoolStats ps = daemon.poolStats();
+  std::printf("accmosd  : shut down cleanly (%llu request(s) served, "
+              "pool %llu hit(s) / %llu miss(es) / %llu eviction(s))\n",
+              static_cast<unsigned long long>(daemon.scheduler().executed()),
+              static_cast<unsigned long long>(ps.hits),
+              static_cast<unsigned long long>(ps.misses),
+              static_cast<unsigned long long>(ps.evictions));
+  return 0;
+}
+
+void printServiceLine(const serve::ServiceMeta& meta) {
+  std::printf("service  : pool %s (%llu entr%s, %llu byte(s) resident, "
+              "%llu hit(s), %llu miss(es), %llu eviction(s))\n",
+              meta.poolHit ? "hit" : "miss",
+              static_cast<unsigned long long>(meta.pool.entries),
+              meta.pool.entries == 1 ? "y" : "ies",
+              static_cast<unsigned long long>(meta.pool.residentBytes),
+              static_cast<unsigned long long>(meta.pool.hits),
+              static_cast<unsigned long long>(meta.pool.misses),
+              static_cast<unsigned long long>(meta.pool.evictions));
+}
+
+int cmdClientRun(const std::string& socketPath, const std::string& path,
+                 const std::vector<std::string>& args) {
+  RunArgs ra;
+  if (int rc = parseRunArgs(args, &ra); rc != 0) return rc;
+  if (ra.opt.engine == Engine::SSEac || ra.opt.engine == Engine::SSErac) {
+    std::fprintf(stderr,
+                 "the daemon serves instrumented engines only "
+                 "(accmos or sse)\n");
+    return 2;
+  }
+  // Load locally too: parse errors keep their local exit code (4) without
+  // a round-trip, and the embedded <stimulus> default matches `accmos run`.
+  std::string text = readFileText(path);
+  LoadedModel loaded = loadModelCli(path);
+  if (loaded.stimulus && !ra.explicitTests) ra.tests = *loaded.stimulus;
+
+  serve::ServeClient client(socketPath);
+  serve::ServiceMeta meta;
+  SimulationResult res = client.run(text, ra.opt, ra.tests, &meta);
+  int code = printRunResult(res, ra.opt);
+  printServiceLine(meta);
+  if (ra.showUncovered) {
+    if (!res.hasCoverage) {
+      std::fprintf(stderr,
+                   "--show-uncovered needs coverage (an instrumented "
+                   "engine, without --no-coverage)\n");
+      return 2;
+    }
+    Simulator sim(*loaded.model);
+    printUncovered(sim.flatModel(), ra.opt, res.bitmaps);
+  }
+  return code;
+}
+
+int cmdClientCampaign(const std::string& socketPath, const std::string& path,
+                      const std::vector<std::string>& args) {
+  CampaignArgs ca;
+  if (int rc = parseCampaignArgs(args, &ca); rc != 0) return rc;
+  std::string text = readFileText(path);
+  LoadedModel loaded = loadModelCli(path);
+  TestCaseSpec base = loaded.stimulus.value_or(TestCaseSpec{});
+
+  // The exact spec batch runCampaign() would build locally, so the daemon
+  // merge is bit-identical to `accmos campaign` on the same flags.
+  std::vector<TestCaseSpec> specs;
+  for (uint64_t seed : campaignSeeds(ca.numSeeds)) {
+    specs.push_back(base);
+    specs.back().seed = seed;
+  }
+
+  serve::ServeClient client(socketPath);
+  serve::ServiceMeta meta;
+  CampaignResult cr = client.campaign(text, ca.opt, specs, &meta);
+  int code = printCampaign(cr, ca.opt, ca.numSeeds);
+  printServiceLine(meta);
+  if (ca.showUncovered) {
+    Simulator sim(*loaded.model);
+    printUncovered(sim.flatModel(), ca.opt, cr.mergedBitmaps);
+  }
+  return code;
+}
+
+int cmdClientStats(const std::string& socketPath) {
+  serve::ServeClient client(socketPath);
+  serve::Json s = client.stats();
+  std::printf("daemon   : accmos %s (ABI v%llu)\n",
+              client.daemonVersion().c_str(),
+              static_cast<unsigned long long>(client.daemonAbi()));
+  const serve::Json& pool = s.at("pool", "$");
+  std::printf("pool     : %llu entr%s, %llu byte(s) resident of %llu "
+              "budget, %llu hit(s), %llu miss(es), %llu eviction(s)\n",
+              static_cast<unsigned long long>(
+                  pool.at("entries", "$.pool").asU64("$.pool.entries")),
+              pool.at("entries", "$.pool").asU64("$.pool.entries") == 1
+                  ? "y"
+                  : "ies",
+              static_cast<unsigned long long>(
+                  pool.at("residentBytes", "$.pool")
+                      .asU64("$.pool.residentBytes")),
+              static_cast<unsigned long long>(
+                  pool.at("byteBudget", "$.pool").asU64("$.pool.byteBudget")),
+              static_cast<unsigned long long>(
+                  pool.at("hits", "$.pool").asU64("$.pool.hits")),
+              static_cast<unsigned long long>(
+                  pool.at("misses", "$.pool").asU64("$.pool.misses")),
+              static_cast<unsigned long long>(
+                  pool.at("evictions", "$.pool").asU64("$.pool.evictions")));
+  const serve::Json& sched = s.at("scheduler", "$");
+  std::printf("requests : %llu executed on %llu worker(s), peak %llu "
+              "in flight\n",
+              static_cast<unsigned long long>(
+                  sched.at("executed", "$.scheduler")
+                      .asU64("$.scheduler.executed")),
+              static_cast<unsigned long long>(
+                  sched.at("workers", "$.scheduler")
+                      .asU64("$.scheduler.workers")),
+              static_cast<unsigned long long>(
+                  sched.at("peakInFlight", "$.scheduler")
+                      .asU64("$.scheduler.peakInFlight")));
+  std::printf("compiler : %llu invocation(s) over the daemon's lifetime\n",
+              static_cast<unsigned long long>(
+                  s.at("compilerInvocations", "$")
+                      .asU64("$.compilerInvocations")));
+  return 0;
+}
+
+// accmos client <run|campaign|stats|shutdown> [model] --socket=PATH [...]
+int cmdClient(const std::vector<std::string>& argsAll) {
+  if (argsAll.empty()) return usage();
+  const std::string sub = argsAll[0];
+  std::string socketPath;
+  std::string v;
+  std::vector<std::string> rest;
+  for (size_t k = 1; k < argsAll.size(); ++k) {
+    if (flagValue(argsAll[k], "--socket", &v)) {
+      socketPath = v;
+    } else {
+      rest.push_back(argsAll[k]);
+    }
+  }
+  if (socketPath.empty()) {
+    std::fprintf(stderr, "client needs --socket=PATH\n");
+    return 2;
+  }
+  if (sub == "stats" && rest.empty()) return cmdClientStats(socketPath);
+  if (sub == "shutdown" && rest.empty()) {
+    serve::ServeClient client(socketPath);
+    client.shutdown();
+    std::printf("accmosd at %s acknowledged shutdown\n", socketPath.c_str());
+    return 0;
+  }
+  if ((sub == "run" || sub == "campaign") && !rest.empty() &&
+      rest[0].rfind("--", 0) != 0) {
+    std::string path = rest[0];
+    rest.erase(rest.begin());
+    return sub == "run" ? cmdClientRun(socketPath, path, rest)
+                        : cmdClientCampaign(socketPath, path, rest);
+  }
+  return usage();
+}
+
 int mainImpl(int argc, char** argv) {
   if (argc < 2) return usage();
   std::string cmd = argv[1];
   try {
+    if (cmd == "--version" || cmd == "version") {
+      std::fputs(serve::buildInfo().c_str(), stdout);
+      return 0;
+    }
+    if (cmd == "serve") {
+      std::vector<std::string> args(argv + 2, argv + argc);
+      return cmdServe(args);
+    }
+    if (cmd == "client" && argc >= 3) {
+      std::vector<std::string> args(argv + 2, argv + argc);
+      return cmdClient(args);
+    }
     if (cmd == "info" && argc == 3) return cmdInfo(argv[2]);
     if (cmd == "gen" && argc >= 3) {
       // --budget selects the coverage-guided test-case generation mode;
@@ -649,6 +967,11 @@ int mainImpl(int argc, char** argv) {
   } catch (const CompileError& e) {
     std::fprintf(stderr, "accmos: %s\n", e.what());
     return 5;
+  } catch (const serve::ProtocolError& e) {
+    // Transport/handshake trouble between `accmos client` and accmosd —
+    // an environment problem, not a simulation outcome.
+    std::fprintf(stderr, "accmos: %s\n", e.what());
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "accmos: %s\n", e.what());
     return 1;
