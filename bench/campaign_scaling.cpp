@@ -19,6 +19,9 @@
 #include "bench_common.h"
 #include "bench_models/modelgen.h"
 #include "codegen/accmos_engine.h"
+#include "codegen/compiler_driver.h"
+#include "dist/shard.h"
+#include "parser/model_io.h"
 #include "sim/campaign.h"
 
 namespace {
@@ -115,6 +118,126 @@ int main() {
       "\nResults are merged in seed order, so every row above is "
       "bit-identical\nto the workers=1 row (enforced by "
       "test_campaign_parallel).\n");
+
+  // Shard dimension: the same campaign fanned over worker PROCESSES
+  // (src/dist), each a real `accmos shard-worker`, all pointed at one
+  // shared compile-artifact store. Two claims are enforced so CI can gate
+  // on them:
+  //   1. A cold 4-shard fleet against an empty store pays exactly ONE
+  //      compiler invocation fleet-wide (the cross-process single-flight
+  //      claim in CompilerDriver).
+  //   2. On a host with >= 4 cores, 4 shards beat 1 shard by >= 1.5x
+  //      wall-clock (warm store, inner workers = 1 so the shard axis is
+  //      the only parallelism). On smaller hosts the ratio is reported
+  //      but not enforced — same caveat as worker scaling above.
+  int shardRc = 0;
+  {
+    namespace fs = std::filesystem;
+    const uint64_t shardSteps =
+        bench::envSteps("ACCMOS_BENCH_SHARD_STEPS", bench::benchSteps() * 10);
+    const std::string modelText = writeModelToString(*model);
+    std::vector<TestCaseSpec> specs(seeds.size(), base);
+    for (size_t k = 0; k < seeds.size(); ++k) specs[k].seed = seeds[k];
+
+    fs::path shardCache =
+        fs::temp_directory_path() /
+        ("accmos-shard-bench-" + std::to_string(::getpid()));
+    dist::ShardOptions so;
+    so.workerPath = ACCMOS_CLI_PATH;
+    so.cacheDir = shardCache.string();
+
+    std::printf("\nShard scaling: %zu worker process(es), inner workers=1, "
+                "%zu seeds x %llu steps, model CSEV\n",
+                size_t{4}, seeds.size(),
+                static_cast<unsigned long long>(shardSteps));
+    bench::hr(96);
+
+    SimOptions opt = bench::engineOptions(Engine::AccMoS, shardSteps);
+    opt.campaign.workers = 1;
+
+    // Cold: 4 shards racing one empty store.
+    so.shards = 4;
+    const uint64_t before = CompilerDriver::compilerInvocations();
+    dist::ShardStats coldStats;
+    CampaignResult cold =
+        dist::runShardedCampaign(modelText, opt, specs, so, &coldStats);
+    const uint64_t coldInvocations =
+        coldStats.fleetCompilerInvocations - before;
+    std::printf("%-15s %8llu %8s | %9.3f %9s | %10.3f %9.3f %6s  "
+                "(%llu fleet compiler invocation(s))\n",
+                "shards=4 cold",
+                static_cast<unsigned long long>(shardSteps), "4",
+                cold.wallSeconds, "-", cold.compileSeconds,
+                cold.totalExecSeconds, cold.compileCacheHit ? "hit" : "miss",
+                static_cast<unsigned long long>(coldInvocations));
+    json.row()
+        .str("engine", "accmos")
+        .str("phase", "shard_scaling_cold")
+        .count("shards", 4)
+        .count("seeds", seeds.size())
+        .count("steps", shardSteps)
+        .num("wall_s", cold.wallSeconds)
+        .count("fleet_compiler_invocations", coldInvocations)
+        .flag("dead_workers", coldStats.deadWorkers != 0);
+
+    // Warm: the shard axis alone.
+    double wallByShards[3] = {0.0, 0.0, 0.0};
+    const size_t shardSet[3] = {1, 2, 4};
+    for (int c = 0; c < 3; ++c) {
+      so.shards = shardSet[c];
+      dist::ShardStats st;
+      CampaignResult cr =
+          dist::runShardedCampaign(modelText, opt, specs, so, &st);
+      wallByShards[c] = cr.wallSeconds;
+      const double speedup = wallByShards[0] / cr.wallSeconds;
+      std::printf("%-15s %8llu %8zu | %9.3f %8.2fx | %10.3f %9.3f %6s\n",
+                  ("shards=" + std::to_string(shardSet[c])).c_str(),
+                  static_cast<unsigned long long>(shardSteps), shardSet[c],
+                  cr.wallSeconds, speedup, cr.compileSeconds,
+                  cr.totalExecSeconds, cr.compileCacheHit ? "hit" : "miss");
+      json.row()
+          .str("engine", "accmos")
+          .str("phase", "shard_scaling")
+          .count("shards", shardSet[c])
+          .count("seeds", seeds.size())
+          .count("steps", shardSteps)
+          .num("wall_s", cr.wallSeconds)
+          .num("speedup_vs_1_shard", speedup)
+          .flag("compile_cache_hit", cr.compileCacheHit);
+    }
+    bench::hr(96);
+
+    const double shardSpeedup = wallByShards[0] / wallByShards[2];
+    const bool canScale = cores >= 4;
+    std::printf("4-shard speedup over 1 shard: %.2fx (required >= 1.5x%s); "
+                "cold fleet compiles: %llu (required exactly 1)\n",
+                shardSpeedup,
+                canScale ? "" : "; not enforced on this small host",
+                static_cast<unsigned long long>(coldInvocations));
+    json.row()
+        .str("engine", "accmos")
+        .str("phase", "shard_scaling_summary")
+        .num("speedup_4_shards", shardSpeedup)
+        .num("min_speedup", 1.5)
+        .flag("speedup_enforced", canScale)
+        .count("fleet_compiler_invocations_cold", coldInvocations)
+        .flag("accepted", coldInvocations == 1 &&
+                              (!canScale || shardSpeedup >= 1.5));
+    if (coldInvocations != 1) {
+      std::printf("FAILED: cold 4-shard fleet compiled %llu times, "
+                  "expected the shared store to hold it to 1\n",
+                  static_cast<unsigned long long>(coldInvocations));
+      shardRc = 1;
+    }
+    if (canScale && shardSpeedup < 1.5) {
+      std::printf("FAILED: 4 shards on %u cores delivered %.2fx, "
+                  "expected >= 1.5x\n",
+                  cores, shardSpeedup);
+      shardRc = 1;
+    }
+    std::error_code ec;
+    fs::remove_all(shardCache, ec);
+  }
 
   // Per-run transport overhead: a small model under many seeds with few
   // steps each, warm compile cache — the regime where what dominates is
@@ -350,5 +473,5 @@ int main() {
 
   std::error_code ec;
   fs::remove_all(cacheDir, ec);
-  return 0;
+  return shardRc;
 }

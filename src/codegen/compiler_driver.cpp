@@ -1,9 +1,11 @@
 #include "codegen/compiler_driver.h"
 
 #include <fcntl.h>
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -177,6 +179,72 @@ bool storeEntry(uint64_t key, const fs::path& exePath) {
   }
 }
 
+// ---- Cross-process single-flight ---------------------------------------
+// The in-process single-flight map (g_inFlight, below) cannot see other
+// processes; shard workers (src/dist) and concurrent CLI invocations
+// pointed at one shared cache directory would each pay the cold compile.
+// A claim file `<key>.lock` in the cache dir — created with O_EXCL, pid
+// inside — extends single-flight across the fleet: exactly one process
+// compiles a cold key, the losers poll until the winner's crash-safe
+// publication appears and load it. The lock is an OPTIMIZATION, never a
+// correctness dependency: a claimant that cannot acquire within a bounded
+// budget compiles anyway (the duplicate store is harmless — publication is
+// atomic and content-addressed), and a lock whose holder died is broken by
+// the next contender, so a crashed compiler never wedges the fleet.
+
+class CacheKeyLock {
+ public:
+  ~CacheKeyLock() { release(); }
+
+  bool tryAcquire(uint64_t key) {
+    path_ = cachePaths(key).bin;
+    path_ += ".lock";
+    std::error_code ec;
+    fs::create_directories(path_.parent_path(), ec);
+    int fd = ::open(path_.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0) return false;
+    std::string pid = std::to_string(::getpid()) + "\n";
+    ssize_t ignored = ::write(fd, pid.data(), pid.size());
+    (void)ignored;
+    ::close(fd);
+    held_ = true;
+    return true;
+  }
+
+  // Breaks the lock when its recorded holder is provably gone (dead pid on
+  // this host) or the file has outlived any plausible compile (`maxAgeSec`).
+  // Best effort and racy by design: the worst case is a duplicate compile,
+  // which atomic publication absorbs.
+  void breakIfStale(double maxAgeSec) const {
+    std::error_code ec;
+    std::ifstream f(path_);
+    long pid = 0;
+    if (f >> pid && pid > 0) {
+      if (::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH) {
+        fs::remove(path_, ec);
+        return;
+      }
+    }
+    auto mtime = fs::last_write_time(path_, ec);
+    if (ec) return;
+    auto age = fs::file_time_type::clock::now() - mtime;
+    if (std::chrono::duration<double>(age).count() > maxAgeSec) {
+      fs::remove(path_, ec);
+    }
+  }
+
+  void release() {
+    if (!held_) return;
+    std::error_code ec;
+    fs::remove(path_, ec);
+    held_ = false;
+  }
+
+ private:
+  fs::path path_;
+  bool held_ = false;
+};
+
 // One fully-specified compilation, independent of any CompilerDriver
 // instance: jobs capture these by value so they can outlive their creator
 // (the driver may be destroyed while a pool worker compiles).
@@ -238,6 +306,38 @@ CompileOutput compileNow(const CompileParams& p, const std::string& dirStr) {
     if (auto hit = tryCacheHit(p.key)) {
       hit->sourcePath = out.sourcePath;
       return *hit;
+    }
+  }
+
+  // Cross-process single-flight (see CacheKeyLock): claim the key, or poll
+  // for the winner's publication. Whatever happens below — cache hit,
+  // successful publish, compile failure, exception — the claim's RAII
+  // release unblocks the other processes.
+  CacheKeyLock claim;
+  if (p.publish) {
+    const double budget =
+        std::max(60.0, p.timeoutSec > 0.0 ? p.timeoutSec * 2.0 : 600.0);
+    const auto waitStart = std::chrono::steady_clock::now();
+    for (;;) {
+      if (claim.tryAcquire(p.key)) {
+        // The previous holder may have published between our probe above
+        // and this acquire; one more probe avoids a duplicate compile.
+        if (auto hit = tryCacheHit(p.key)) {
+          hit->sourcePath = out.sourcePath;
+          return *hit;
+        }
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      if (auto hit = tryCacheHit(p.key)) {
+        hit->sourcePath = out.sourcePath;
+        return *hit;
+      }
+      claim.breakIfStale(budget);
+      const double waited = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - waitStart)
+                                .count();
+      if (waited > budget) break;  // claim-less compile: still correct
     }
   }
 

@@ -627,6 +627,88 @@ SimOptions optionsFromJson(const Json& j, const std::string& where) {
   return o;
 }
 
+// ---- Shard messages ----------------------------------------------------
+
+Json toJson(const ShardRequest& r) {
+  Json j = Json::object();
+  j.set("op", Json::str("shard"));
+  j.set("model", Json::str(r.modelText));
+  j.set("options", toJson(r.options));
+  Json specs = Json::array();
+  for (const auto& s : r.specs) specs.push(toJson(s));
+  j.set("specs", std::move(specs));
+  j.set("shardIndex", Json::u64(static_cast<uint64_t>(r.shardIndex)));
+  j.set("shardCount", Json::u64(static_cast<uint64_t>(r.shardCount)));
+  return j;
+}
+
+ShardRequest shardRequestFromJson(const Json& j, const std::string& where) {
+  ShardRequest r;
+  r.modelText = getString(j, where, "model");
+  r.options = optionsFromJson(j.at("options", where), sub(where, "options"));
+  const auto& arr = getArray(j, where, "specs");
+  const std::string awhere = sub(where, "specs");
+  r.specs.reserve(arr.size());
+  for (size_t i = 0; i < arr.size(); ++i) {
+    r.specs.push_back(specFromJson(arr[i], idx(awhere, i)));
+  }
+  r.shardIndex = static_cast<size_t>(getU64(j, where, "shardIndex"));
+  r.shardCount = static_cast<size_t>(getU64(j, where, "shardCount"));
+  return r;
+}
+
+Json toJson(const ShardPartial& p) {
+  Json j = Json::object();
+  j.set("op", Json::str("partial"));
+  j.set("first", Json::u64(static_cast<uint64_t>(p.first)));
+  Json results = Json::array();
+  for (const auto& r : p.results) results.push(toJson(r));
+  j.set("results", std::move(results));
+  return j;
+}
+
+ShardPartial shardPartialFromJson(const Json& j, const std::string& where) {
+  ShardPartial p;
+  p.first = static_cast<size_t>(getU64(j, where, "first"));
+  const auto& arr = getArray(j, where, "results");
+  const std::string awhere = sub(where, "results");
+  p.results.reserve(arr.size());
+  for (size_t i = 0; i < arr.size(); ++i) {
+    p.results.push_back(simResultFromJson(arr[i], idx(awhere, i)));
+  }
+  return p;
+}
+
+Json toJson(const ShardDone& d) {
+  Json j = Json::object();
+  j.set("op", Json::str("done"));
+  j.set("completed", Json::u64(static_cast<uint64_t>(d.completed)));
+  j.set("interrupted", Json::boolean(d.interrupted));
+  j.set("generateSeconds", Json::number(d.generateSeconds));
+  j.set("compileSeconds", Json::number(d.compileSeconds));
+  j.set("loadSeconds", Json::number(d.loadSeconds));
+  j.set("compileWaitSeconds", Json::number(d.compileWaitSeconds));
+  j.set("compileCacheHit", Json::boolean(d.compileCacheHit));
+  j.set("timeToFirstResultSeconds", Json::number(d.timeToFirstResultSeconds));
+  j.set("compilerInvocations", Json::u64(d.compilerInvocations));
+  return j;
+}
+
+ShardDone shardDoneFromJson(const Json& j, const std::string& where) {
+  ShardDone d;
+  d.completed = static_cast<size_t>(getU64(j, where, "completed"));
+  d.interrupted = getBool(j, where, "interrupted");
+  d.generateSeconds = getDouble(j, where, "generateSeconds");
+  d.compileSeconds = getDouble(j, where, "compileSeconds");
+  d.loadSeconds = getDouble(j, where, "loadSeconds");
+  d.compileWaitSeconds = getDouble(j, where, "compileWaitSeconds");
+  d.compileCacheHit = getBool(j, where, "compileCacheHit");
+  d.timeToFirstResultSeconds =
+      getDouble(j, where, "timeToFirstResultSeconds");
+  d.compilerInvocations = getU64(j, where, "compilerInvocations");
+  return d;
+}
+
 // ---- Observation canonicalization --------------------------------------
 
 Json campaignObservations(const CampaignResult& r) {

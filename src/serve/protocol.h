@@ -90,6 +90,53 @@ TestCaseSpec specFromJson(const Json& j, const std::string& where);
 Json toJson(const SimOptions& o);
 SimOptions optionsFromJson(const Json& j, const std::string& where);
 
+// ---- Shard messages (src/dist sharded campaigns) -----------------------
+// The coordinator ↔ shard-worker wire pieces (docs/CAMPAIGNS.md, "Sharded
+// campaigns"). A coordinator sends one ShardRequest frame down each
+// worker's socketpair; the worker answers with a stream of ShardPartial
+// frames (op "partial") — per-spec SimulationResults for consecutive
+// shard-local spec indices — and one final ShardDone frame (op "done")
+// carrying the one-off cost bookkeeping. Results travel whole (bitmaps,
+// diagnostics, failures) precisely so the coordinator can run the very
+// same spec-order merge a single process runs: bit-identity is inherited
+// from the codecs' exact round-trip contract, not re-proven per field.
+
+struct ShardRequest {
+  std::string modelText;            // full model XML; each shard flattens
+                                    // and optimizes it identically
+  SimOptions options;               // per-shard options (campaign.workers
+                                    // is the shard's INNER parallelism)
+  std::vector<TestCaseSpec> specs;  // this shard's contiguous sub-range
+  size_t shardIndex = 0;
+  size_t shardCount = 1;
+};
+Json toJson(const ShardRequest& r);
+ShardRequest shardRequestFromJson(const Json& j, const std::string& where);
+
+struct ShardPartial {
+  size_t first = 0;  // shard-local spec index of results[0]
+  std::vector<SimulationResult> results;
+};
+Json toJson(const ShardPartial& p);
+ShardPartial shardPartialFromJson(const Json& j, const std::string& where);
+
+struct ShardDone {
+  // Contiguous completed prefix of the shard's spec list; < specs.size()
+  // exactly when the worker was interrupted (SIGINT/SIGTERM forwarded by
+  // the coordinator).
+  size_t completed = 0;
+  bool interrupted = false;
+  double generateSeconds = 0.0;
+  double compileSeconds = 0.0;
+  double loadSeconds = 0.0;
+  double compileWaitSeconds = 0.0;
+  bool compileCacheHit = false;
+  double timeToFirstResultSeconds = -1.0;
+  uint64_t compilerInvocations = 0;  // this worker process's count
+};
+Json toJson(const ShardDone& d);
+ShardDone shardDoneFromJson(const Json& j, const std::string& where);
+
 // ---- Observation canonicalization --------------------------------------
 // The observation-only view of a campaign: everything that is contractually
 // bit-identical across workers, lanes, exec modes and tiers — per-seed

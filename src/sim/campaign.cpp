@@ -278,62 +278,24 @@ std::vector<SimulationResult> SpecEvaluator::evaluate(
   return out;
 }
 
-CampaignResult runCampaignSpecsOn(
-    const FlatModel& model, SpecEvaluator& evaluator, const SimOptions& opt,
-    const std::vector<TestCaseSpec>& specs, const OptStats& optStats,
-    std::optional<std::chrono::steady_clock::time_point> wallStart) {
-  checkInstrumentedEngine(opt);
-  if (specs.empty()) {
-    throw ModelError("test campaign needs at least one test case");
-  }
-
-  const auto wall0 = wallStart.value_or(std::chrono::steady_clock::now());
+// Merge strictly in spec order: coverage-bitmap unions, diagnostic
+// deduplication and the per-spec cumulative reports are computed exactly
+// as a sequential run would, so the campaign outcome is independent of the
+// execution interleaving that produced `results` — worker pools, batch
+// lanes, tier swaps, or shard processes (src/dist) all feed the same merge.
+CampaignResult mergeSpecResults(const FlatModel& model,
+                                const std::vector<TestCaseSpec>& specs,
+                                const std::vector<SimulationResult>& results,
+                                size_t completed, const OptStats& optStats) {
   CampaignResult out;
   out.optStats = optStats;
 
   CoveragePlan plan = CoveragePlan::build(
       model, [](const FlatActor& fa) { return covTraitsFor(fa); });
   out.mergedBitmaps = CoverageRecorder(plan);
-  out.workersUsed = resolveWorkers(opt, specs.size());
-
-  // One-off cost fields are reported as deltas across this call, so a
-  // warm pooled evaluator (daemon repeat request) truthfully reports zero
-  // generation/compile/load work; a fresh evaluator reports the classic
-  // totals since every counter starts at zero.
-  const size_t built0 = evaluator.enginesBuilt();
-  const double generate0 = evaluator.generateSeconds();
-  const double compile0 = evaluator.compileSeconds();
-  const double load0 = evaluator.loadSeconds();
-  const double wait0 = evaluator.compileWaitSeconds();
-
-  const auto evalStart = std::chrono::steady_clock::now();
-  std::vector<uint8_t> done;
-  std::vector<SimulationResult> results = evaluator.evaluate(specs, &done);
-  out.generateSeconds = evaluator.generateSeconds() - generate0;
-  out.compileSeconds = evaluator.compileSeconds() - compile0;
-  out.loadSeconds = evaluator.loadSeconds() - load0;
-  out.compileWaitSeconds = evaluator.compileWaitSeconds() - wait0;
-  out.compileCacheHit =
-      evaluator.enginesBuilt() > built0 && evaluator.allCompileCacheHits();
-  if (evaluator.timeToFirstResultSeconds() >= 0.0) {
-    // Campaign-relative: the flatten/optimize prelude plus the evaluator's
-    // own start-to-first-result span.
-    out.timeToFirstResultSeconds =
-        std::chrono::duration<double>(evalStart - wall0).count() +
-        evaluator.timeToFirstResultSeconds();
-  }
-
-  // A cooperative interrupt stops the batch after a prefix of the specs;
-  // the merge below then covers exactly that prefix (partial results are
-  // flushed, and each prefix row matches the uninterrupted campaign's).
-  size_t completed = 0;
-  while (completed < specs.size() && done[completed] != 0) ++completed;
+  completed = std::min(completed, specs.size());
   out.interrupted = completed < specs.size();
 
-  // Merge strictly in spec order: coverage-bitmap unions, diagnostic
-  // deduplication and the per-spec cumulative reports are computed exactly
-  // as a sequential run would, so the campaign outcome is independent of
-  // the execution interleaving above.
   std::map<std::tuple<int, DiagKind, std::string>, DiagRecord> merged;
   out.perSeed.reserve(completed);
   for (size_t k = 0; k < completed; ++k) {
@@ -394,6 +356,56 @@ CampaignResult runCampaignSpecsOn(
               return std::tie(a.firstStep, a.actorPath) <
                      std::tie(b.firstStep, b.actorPath);
             });
+  return out;
+}
+
+CampaignResult runCampaignSpecsOn(
+    const FlatModel& model, SpecEvaluator& evaluator, const SimOptions& opt,
+    const std::vector<TestCaseSpec>& specs, const OptStats& optStats,
+    std::optional<std::chrono::steady_clock::time_point> wallStart) {
+  checkInstrumentedEngine(opt);
+  if (specs.empty()) {
+    throw ModelError("test campaign needs at least one test case");
+  }
+
+  const auto wall0 = wallStart.value_or(std::chrono::steady_clock::now());
+
+  // One-off cost fields are reported as deltas across this call, so a
+  // warm pooled evaluator (daemon repeat request) truthfully reports zero
+  // generation/compile/load work; a fresh evaluator reports the classic
+  // totals since every counter starts at zero.
+  const size_t built0 = evaluator.enginesBuilt();
+  const double generate0 = evaluator.generateSeconds();
+  const double compile0 = evaluator.compileSeconds();
+  const double load0 = evaluator.loadSeconds();
+  const double wait0 = evaluator.compileWaitSeconds();
+
+  const auto evalStart = std::chrono::steady_clock::now();
+  std::vector<uint8_t> done;
+  std::vector<SimulationResult> results = evaluator.evaluate(specs, &done);
+
+  // A cooperative interrupt stops the batch after a prefix of the specs;
+  // the merge then covers exactly that prefix (partial results are
+  // flushed, and each prefix row matches the uninterrupted campaign's).
+  size_t completed = 0;
+  while (completed < specs.size() && done[completed] != 0) ++completed;
+
+  CampaignResult out = mergeSpecResults(model, specs, results, completed,
+                                        optStats);
+  out.workersUsed = resolveWorkers(opt, specs.size());
+  out.generateSeconds = evaluator.generateSeconds() - generate0;
+  out.compileSeconds = evaluator.compileSeconds() - compile0;
+  out.loadSeconds = evaluator.loadSeconds() - load0;
+  out.compileWaitSeconds = evaluator.compileWaitSeconds() - wait0;
+  out.compileCacheHit =
+      evaluator.enginesBuilt() > built0 && evaluator.allCompileCacheHits();
+  if (evaluator.timeToFirstResultSeconds() >= 0.0) {
+    // Campaign-relative: the flatten/optimize prelude plus the evaluator's
+    // own start-to-first-result span.
+    out.timeToFirstResultSeconds =
+        std::chrono::duration<double>(evalStart - wall0).count() +
+        evaluator.timeToFirstResultSeconds();
+  }
   auto wall1 = std::chrono::steady_clock::now();
   out.wallSeconds = std::chrono::duration<double>(wall1 - wall0).count();
   return out;

@@ -123,6 +123,23 @@ CampaignResult runCampaignSpecs(const FlatModel& fm, const SimOptions& opt,
 
 class SpecEvaluator;
 
+// The spec-order merge under every campaign entry point, callable on its
+// own: given per-spec results for `specs` (result k describes spec k) and
+// the count of completed leading specs (`completed` < specs.size() marks
+// the campaign interrupted), folds the first `completed` results into a
+// CampaignResult exactly as a sequential single-process run would —
+// bitmap unions, diagnostic dedup, per-spec cumulative reports, contained
+// failures, tier counters. The shard coordinator (src/dist) concatenates
+// per-shard result vectors and calls this, which is what makes a sharded
+// campaign bit-identical to a single-process one: both run the very same
+// merge over the very same per-spec results in the very same order.
+// Timing / one-off-cost fields (wallSeconds, compileSeconds, ...) are the
+// caller's to fill; optStats is copied through.
+CampaignResult mergeSpecResults(const FlatModel& model,
+                                const std::vector<TestCaseSpec>& specs,
+                                const std::vector<SimulationResult>& results,
+                                size_t completed, const OptStats& optStats);
+
 // The campaign loop over a CALLER-OWNED evaluator — the resident-service
 // entry point. `model` must be the (already optimized, if desired) model
 // the evaluator was constructed on, and `optStats` whatever the caller's

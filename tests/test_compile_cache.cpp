@@ -6,15 +6,20 @@
 // surfaces compiler stderr through a catchable ModelError.
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <string>
+#include <vector>
 
 #include "codegen/accmos_engine.h"
 #include "codegen/compiler_driver.h"
 #include "opt/pipeline.h"
+#include "parser/model_io.h"
 #include "sim/simulator.h"
 #include "test_util.h"
 
@@ -337,6 +342,138 @@ TEST_F(CompileCacheTest, MissingBinaryRunFails) {
   EXPECT_THROW(driver.run((fs::path(driver.dir()) / "nonexistent").string(),
                           {"1", "0", "1"}),
                CompileError);
+}
+
+// Scoped environment override (same idiom as test_fault_containment.cpp).
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_ = old != nullptr;
+    if (had_) old_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~EnvGuard() {
+    if (had_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_ = false;
+  std::string old_;
+};
+
+// Cross-process single-flight: two separate processes cold-compile the
+// SAME model against ONE shared cache directory at the same time. The
+// lockfile claim in CompilerDriver must hold the pair to exactly one
+// compiler invocation — the loser waits on the winner's publication and
+// loads the published artifact instead of duplicating the compile. This
+// is the guarantee the shard coordinator (src/dist) leans on for its
+// "one compile fleet-wide" cold path.
+//
+// The compiler is $CXX (part of the cache key), so a wrapper script that
+// appends a line per invocation — identical in both processes, keeping
+// their keys equal — makes the fleet-wide invocation count observable.
+TEST_F(CompileCacheTest, CrossProcessColdCompileIsSingleFlight) {
+  // The model both processes will compile, stimulus embedded.
+  auto t = gainModel(2.0);
+  const fs::path modelPath = dir_ / "race_model.xml";
+  TestCaseSpec stimulus;
+  writeModelToFile(t->model(), modelPath.string(), &stimulus);
+
+  // A $CXX wrapper that logs each invocation, then runs the real thing.
+  const fs::path log = dir_ / "cxx_invocations.log";
+  const fs::path wrapper = dir_ / "cxx_wrapper.sh";
+  {
+    std::ofstream w(wrapper);
+    w << "#!/bin/sh\n"
+      << "echo invoked >> " << log.string() << "\n"
+      << "exec c++ \"$@\"\n";
+  }
+  fs::permissions(wrapper, fs::perms::owner_all | fs::perms::group_read |
+                               fs::perms::others_read);
+  EnvGuard cxx("CXX", wrapper.string().c_str());
+  // Stretch the winner's compile so the loser reliably lands in the
+  // wait-on-lock path rather than slipping in after publication.
+  EnvGuard fault("ACCMOS_FAULT", "slow-compile:400");
+
+  // Two concurrent CLI processes, both cold against the shared store
+  // (ACCMOS_CACHE_DIR from the fixture is inherited).
+  auto spawnRun = [&](const fs::path& out) {
+    pid_t pid = ::fork();
+    if (pid == 0) {
+      int fd = ::open(out.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (fd >= 0) {
+        ::dup2(fd, 1);
+        ::dup2(fd, 2);
+        ::close(fd);
+      }
+      ::execl(ACCMOS_CLI_PATH, ACCMOS_CLI_PATH, "run", modelPath.c_str(),
+              "--engine=accmos", "--steps=50", "--opt=-O0",
+              static_cast<char*>(nullptr));
+      ::_exit(127);
+    }
+    return pid;
+  };
+  const pid_t a = spawnRun(dir_ / "race_a.out");
+  const pid_t b = spawnRun(dir_ / "race_b.out");
+  ASSERT_GT(a, 0);
+  ASSERT_GT(b, 0);
+
+  int statusA = 0, statusB = 0;
+  ASSERT_EQ(::waitpid(a, &statusA, 0), a);
+  ASSERT_EQ(::waitpid(b, &statusB, 0), b);
+  EXPECT_TRUE(WIFEXITED(statusA) && WEXITSTATUS(statusA) == 0)
+      << "first racer failed, status " << statusA;
+  EXPECT_TRUE(WIFEXITED(statusB) && WEXITSTATUS(statusB) == 0)
+      << "second racer failed, status " << statusB;
+
+  // Exactly one compiler invocation between the two processes.
+  size_t invocations = 0;
+  {
+    std::ifstream in(log);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) ++invocations;
+    }
+  }
+  EXPECT_EQ(invocations, 1u)
+      << "cold racers must share one compile via the cross-process claim";
+
+  // The artifact was published (sidecar included) and the claim lockfile
+  // did not leak.
+  bool sawBin = false, sawLock = false;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".bin") sawBin = true;
+    if (entry.path().extension() == ".lock") sawLock = true;
+  }
+  EXPECT_TRUE(sawBin);
+  EXPECT_FALSE(sawLock) << "claim lockfile left behind after publication";
+
+  // Both racers ran to completion off the one artifact: their simulation
+  // output (steps, coverage, diagnostics — everything but timing lines)
+  // must be identical.
+  auto observationLines = [](const fs::path& p) {
+    std::vector<std::string> lines;
+    std::ifstream in(p);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("codegen", 0) == 0) continue;  // timing line
+      if (line.rfind("exec", 0) == 0) continue;
+      lines.push_back(line);
+    }
+    return lines;
+  };
+  EXPECT_EQ(observationLines(dir_ / "race_a.out"),
+            observationLines(dir_ / "race_b.out"));
 }
 
 }  // namespace

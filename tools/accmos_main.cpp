@@ -8,6 +8,15 @@
 //   accmos campaign <model.xml> [--seeds=N] [--steps=M] [--engine=E]
 //                   [--workers=W]             multi-seed coverage campaign
 //                                             (W workers; 0 = all cores)
+//                   [--shards=N]              fan the campaign over N
+//                                             shard-worker processes
+//                                             sharing one compile cache;
+//                                             results bit-identical to
+//                                             --shards=0 (docs/CAMPAIGNS.md)
+//   accmos shard-worker                       internal: one shard of a
+//                                             --shards campaign, spawned
+//                                             by the coordinator with the
+//                                             frame protocol on fd 0
 //   accmos export-suite <dir>                   write the benchmark models
 //   accmos serve --socket=PATH                  resident simulation daemon
 //                [--pool-budget=BYTES]          (accmosd, docs/SERVICE.md);
@@ -82,6 +91,7 @@
 #include "bench_models/suite.h"
 #include "codegen/accmos_engine.h"
 #include "codegen/compiler_driver.h"
+#include "dist/shard.h"
 #include "gen/generator.h"
 #include "opt/pipeline.h"
 #include "parser/model_io.h"
@@ -119,6 +129,7 @@ int usage() {
                "[--timeout=SEC] [--step-budget=N] [--show-uncovered]\n"
                "  accmos campaign <model.xml> [--seeds=N] [--steps=M] "
                "[--engine=accmos|sse] [--workers=W] [--batch-lanes=N] "
+               "[--shards=N] "
                "[--no-opt] [--exec-mode=dlopen|process] "
                "[--tier=native|auto|interp] [--timeout=SEC] "
                "[--step-budget=N] [--show-uncovered]\n"
@@ -567,6 +578,7 @@ struct CampaignArgs {
   SimOptions opt;
   int numSeeds = 8;
   bool showUncovered = false;
+  size_t shards = 0;  // > 0: fan out over shard-worker processes
 };
 
 int parseCampaignArgs(const std::vector<std::string>& args,
@@ -584,6 +596,8 @@ int parseCampaignArgs(const std::vector<std::string>& args,
       opt.campaign.workers = std::strtoull(v.c_str(), nullptr, 10);
     } else if (flagValue(arg, "--batch-lanes", &v)) {
       opt.batchLanes = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flagValue(arg, "--shards", &v)) {
+      ca->shards = std::strtoull(v.c_str(), nullptr, 10);
     } else if (flagValue(arg, "--engine", &v)) {
       if (v == "accmos") opt.engine = Engine::AccMoS;
       else if (v == "sse") opt.engine = Engine::SSE;
@@ -688,10 +702,34 @@ int cmdCampaign(const std::string& path,
   Simulator sim(*loaded.model);
 
   // Ctrl-C / SIGTERM stop the campaign cooperatively: finished seeds are
-  // flushed below and the exit code says the table is a prefix.
+  // flushed below and the exit code says the table is a prefix. With
+  // --shards the coordinator forwards the signal to every worker process
+  // and merges the contiguous prefix they flush — same contract, same
+  // exit code, across process boundaries.
   installInterruptHandlers();
-  CampaignResult cr = runCampaign(sim.flatModel(), ca.opt, base,
-                                  campaignSeeds(ca.numSeeds));
+  CampaignResult cr;
+  if (ca.shards > 0) {
+    std::vector<TestCaseSpec> specs;
+    for (uint64_t seed : campaignSeeds(ca.numSeeds)) {
+      specs.push_back(base);
+      specs.back().seed = seed;
+    }
+    dist::ShardOptions so;
+    so.shards = ca.shards;
+    dist::ShardStats st;
+    cr = dist::runShardedCampaign(readFileText(path), ca.opt, specs, so, &st);
+    int code = printCampaign(cr, ca.opt, ca.numSeeds);
+    std::printf("shards   : %zu shard(s), %llu fleet compiler "
+                "invocation(s)%s\n",
+                st.shards,
+                static_cast<unsigned long long>(st.fleetCompilerInvocations),
+                st.deadWorkers > 0 ? " — WORKER DEATHS CONTAINED" : "");
+    if (ca.showUncovered) {
+      printUncovered(sim.flatModel(), ca.opt, cr.mergedBitmaps);
+    }
+    return code;
+  }
+  cr = runCampaign(sim.flatModel(), ca.opt, base, campaignSeeds(ca.numSeeds));
   int code = printCampaign(cr, ca.opt, ca.numSeeds);
   if (ca.showUncovered) {
     printUncovered(sim.flatModel(), ca.opt, cr.mergedBitmaps);
@@ -813,6 +851,12 @@ int cmdClientCampaign(const std::string& socketPath, const std::string& path,
                       const std::vector<std::string>& args) {
   CampaignArgs ca;
   if (int rc = parseCampaignArgs(args, &ca); rc != 0) return rc;
+  if (ca.shards > 0) {
+    std::fprintf(stderr,
+                 "--shards is a local coordinator mode; the daemon already "
+                 "schedules requests across its own workers\n");
+    return 2;
+  }
   std::string text = readFileText(path);
   LoadedModel loaded = loadModelCli(path);
   TestCaseSpec base = loaded.stimulus.value_or(TestCaseSpec{});
@@ -953,6 +997,13 @@ int mainImpl(int argc, char** argv) {
     if (cmd == "campaign" && argc >= 3) {
       std::vector<std::string> args(argv + 3, argv + argc);
       return cmdCampaign(argv[2], args);
+    }
+    if (cmd == "shard-worker" && argc == 2) {
+      // Internal mode: one shard of a --shards campaign. The coordinator
+      // holds the other end of the socketpair on our fd 0; cooperative
+      // interrupt handlers make a forwarded SIGTERM flush the prefix.
+      installInterruptHandlers();
+      return dist::runShardWorker(0);
     }
     if (cmd == "export-suite" && argc == 3) return cmdExportSuite(argv[2]);
   } catch (const ModelLoadError& e) {
